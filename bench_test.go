@@ -1,0 +1,142 @@
+package repro
+
+// One benchmark per experiment in DESIGN.md §4. Each runs the experiment's
+// quick configuration and fails if the paper-shape check does not hold, so
+// `go test -bench=.` doubles as a full reproduction pass at bench scale.
+// The full-size tables in EXPERIMENTS.md come from cmd/experiments.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph/gen"
+	"repro/internal/local"
+	"repro/internal/simulate"
+	"repro/internal/xrand"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var ex experiments.Experiment
+	for _, e := range experiments.All() {
+		if e.ID == id {
+			ex = e
+		}
+	}
+	if ex.Run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		rep := ex.Run(true)
+		if !rep.Pass {
+			b.Fatalf("experiment %s failed its shape check:\n%s", id, rep)
+		}
+	}
+}
+
+func BenchmarkE1SpannerSize(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2Stretch(b *testing.B)          { benchExperiment(b, "E2") }
+func BenchmarkE3Rounds(b *testing.B)           { benchExperiment(b, "E3") }
+func BenchmarkE4Messages(b *testing.B)         { benchExperiment(b, "E4") }
+func BenchmarkE5Baseline(b *testing.B)         { benchExperiment(b, "E5") }
+func BenchmarkE6Hierarchy(b *testing.B)        { benchExperiment(b, "E6") }
+func BenchmarkE7Scheme1(b *testing.B)          { benchExperiment(b, "E7") }
+func BenchmarkE8TwoStage(b *testing.B)         { benchExperiment(b, "E8") }
+func BenchmarkE10PeelingAblation(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11Crossover(b *testing.B)       { benchExperiment(b, "E11") }
+
+// Micro-benchmarks of the building blocks, with message costs surfaced as
+// custom metrics.
+
+func BenchmarkSamplerCentralized(b *testing.B) {
+	g := gen.ConnectedGNP(2000, 0.02, xrand.New(1))
+	b.ResetTimer()
+	var samples int64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Build(g, core.Default(2, 4), uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = res.TotalSamples
+	}
+	b.ReportMetric(float64(samples), "samples/op")
+}
+
+func BenchmarkSamplerDistributed(b *testing.B) {
+	g := gen.ConnectedGNP(600, 0.05, xrand.New(2))
+	b.ResetTimer()
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		res, err := core.BuildDistributed(g, core.Default(2, 4), uint64(i), local.Config{Concurrent: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.Run.Messages
+	}
+	b.ReportMetric(float64(msgs), "msgs/op")
+}
+
+func BenchmarkLocalEngineSequential(b *testing.B) {
+	benchLocalEngine(b, false)
+}
+
+func BenchmarkLocalEngineConcurrent(b *testing.B) {
+	benchLocalEngine(b, true)
+}
+
+func benchLocalEngine(b *testing.B, concurrent bool) {
+	b.Helper()
+	g := gen.ConnectedGNP(2000, 0.01, xrand.New(3))
+	spec := MaxID(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := simulate.Direct(g, spec, uint64(i), local.Config{Concurrent: concurrent}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectOnSpanner(b *testing.B) {
+	g := gen.Complete(300)
+	sp, err := core.Build(g, core.Default(2, 4), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := g.SubgraphByEdges(sp.S)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		coll, err := simulate.Collect(g, h, sp.StretchBound()*2, uint64(i), local.Config{Concurrent: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = coll.Run.Messages
+	}
+	b.ReportMetric(float64(msgs), "msgs/op")
+}
+
+func BenchmarkReplay(b *testing.B) {
+	g := gen.ConnectedGNP(300, 0.05, xrand.New(4))
+	spec := MaxID(3)
+	coll, err := simulate.Collect(g, g, spec.T, 7, local.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coll.Replay(spec, NodeID(i%g.NumNodes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12GlobalCompute(b *testing.B) { benchExperiment(b, "E12") }
+
+func BenchmarkE13BitComplexity(b *testing.B)  { benchExperiment(b, "E13") }
+func BenchmarkE14SpannerQuality(b *testing.B) { benchExperiment(b, "E14") }
+
+func BenchmarkE15ElkinNeimanStage(b *testing.B) { benchExperiment(b, "E15") }

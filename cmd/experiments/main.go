@@ -1,0 +1,49 @@
+// Command experiments regenerates the paper's evaluation: it runs every
+// experiment in DESIGN.md §4 and prints the measurement tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-quick] [-run E4,E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+import "repro/internal/experiments"
+
+func main() {
+	quick := flag.Bool("quick", false, "run bench-scale configurations")
+	only := flag.String("run", "", "comma-separated experiment IDs (default all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	failed := 0
+	for _, ex := range experiments.All() {
+		if len(want) > 0 && !want[ex.ID] {
+			continue
+		}
+		start := time.Now()
+		rep := ex.Run(*quick)
+		fmt.Println(rep)
+		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+		if !rep.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed their shape checks\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,149 @@
+// Command simulate runs a t-round LOCAL algorithm on a generated graph
+// under one of the execution strategies the paper compares — direct
+// execution, message-reduction scheme 1, scheme 2, or gossip collection —
+// verifies that simulated outputs match direct execution, and prints the
+// cost ledger.
+//
+// Usage:
+//
+//	simulate -graph complete -n 400 -alg maxid -t 4 -scheme 1 -gamma 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/algorithms"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/local"
+	"repro/internal/simulate"
+	"repro/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		kind   = flag.String("graph", "complete", "graph family: gnp|complete|grid|hypercube|barbell")
+		n      = flag.Int("n", 300, "node count")
+		deg    = flag.Float64("deg", 16, "average degree for gnp")
+		alg    = flag.String("alg", "maxid", "algorithm: maxid|mis|coloring|bfs")
+		t      = flag.Int("t", 4, "round budget for maxid/bfs (mis/coloring use their whp budgets)")
+		scheme = flag.Int("scheme", 1, "0=direct only, 1=scheme1, 2=scheme2, 3=gossip")
+		gamma  = flag.Int("gamma", 1, "Sampler level parameter for the schemes")
+		bsK    = flag.Int("bsk", 2, "Baswana–Sen stretch parameter for scheme 2")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		check  = flag.Int("check", 25, "number of nodes to verify against direct execution")
+	)
+	flag.Parse()
+
+	g := makeGraph(*kind, *n, *deg, *seed)
+	spec := makeSpec(*alg, *t, g.NumNodes())
+	fmt.Printf("graph: %s n=%d m=%d   algorithm: %s t=%d\n",
+		*kind, g.NumNodes(), g.NumEdges(), spec.Name, spec.T)
+
+	direct, directRun, err := simulate.Direct(g, spec, *seed, local.Config{Concurrent: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("direct: rounds=%d messages=%d\n", directRun.Rounds, directRun.Messages)
+	if *scheme == 0 {
+		return
+	}
+
+	var coll *simulate.Collection
+	switch *scheme {
+	case 1:
+		res, err := simulate.Scheme1(g, spec, simulate.Scheme1Params(*gamma), *seed, local.Config{Concurrent: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printScheme("scheme1", res, directRun.Messages)
+		coll = res.Coll
+	case 2:
+		res, err := simulate.Scheme2(g, spec, simulate.Scheme1Params(*gamma), *bsK, *seed, local.Config{Concurrent: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printScheme("scheme2", res, directRun.Messages)
+		coll = res.Coll
+	case 3:
+		c, cover, msgs, err := simulate.GossipCollect(g, spec.T, 100*g.NumNodes(), *seed, local.Config{Concurrent: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("gossip: cover-round=%d messages-to-cover=%d\n", cover, msgs)
+		if cover < 0 {
+			log.Fatal("gossip did not cover the t-balls within its budget")
+		}
+		coll = c
+	default:
+		log.Fatalf("unknown scheme %d", *scheme)
+	}
+
+	// Verify a sample of nodes against the direct run.
+	step := g.NumNodes() / max(1, *check)
+	if step == 0 {
+		step = 1
+	}
+	verified := 0
+	for v := 0; v < g.NumNodes(); v += step {
+		got, err := coll.Replay(spec, graph.NodeID(v))
+		if err != nil {
+			log.Fatalf("replay at node %d: %v", v, err)
+		}
+		if got != direct[v] {
+			log.Fatalf("FIDELITY VIOLATION at node %d: simulated %v, direct %v", v, got, direct[v])
+		}
+		verified++
+	}
+	fmt.Printf("fidelity: %d sampled nodes match direct execution exactly\n", verified)
+}
+
+func printScheme(name string, res *simulate.SchemeResult, directMsgs int64) {
+	fmt.Printf("%s: rounds=%d messages=%d (%.2fx direct)\n",
+		name, res.TotalRounds(), res.TotalMessages(),
+		float64(res.TotalMessages())/float64(directMsgs))
+	for _, ph := range res.Phases {
+		fmt.Printf("  %-12s rounds=%-6d messages=%d\n", ph.Name, ph.Rounds, ph.Messages)
+	}
+	fmt.Printf("  carrier spanner: %d edges, stretch bound %d\n", res.SpannerEdges, res.StretchUsed)
+}
+
+func makeSpec(alg string, t, n int) algorithms.Spec {
+	switch alg {
+	case "maxid":
+		return algorithms.MaxID(t)
+	case "mis":
+		return algorithms.MIS(algorithms.MISRounds(n))
+	case "coloring":
+		return algorithms.Coloring(algorithms.ColoringRounds(n))
+	case "bfs":
+		return algorithms.BFS(0, t)
+	default:
+		log.Fatalf("unknown algorithm %q", alg)
+		return algorithms.Spec{}
+	}
+}
+
+func makeGraph(kind string, n int, deg float64, seed uint64) *graph.Graph {
+	rng := xrand.New(seed)
+	switch kind {
+	case "gnp":
+		return gen.Connectify(gen.GNP(n, deg/float64(n-1), rng), rng)
+	case "complete":
+		return gen.Complete(n)
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		return gen.Grid(side, side)
+	case "hypercube":
+		return gen.Hypercube(int(math.Round(math.Log2(float64(n)))))
+	case "barbell":
+		return gen.Barbell(n/2, 4)
+	default:
+		log.Fatalf("unknown graph family %q", kind)
+		return nil
+	}
+}

@@ -1,0 +1,104 @@
+// Command spanner builds a spanner with algorithm Sampler on a generated
+// graph and reports size, measured stretch, and (in distributed mode) round
+// and message costs.
+//
+// Usage:
+//
+//	spanner -graph gnp -n 500 -deg 20 -k 2 -h 4 -c 0.5 -seed 1 -distributed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/local"
+	"repro/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		kind        = flag.String("graph", "gnp", "graph family: gnp|complete|grid|hypercube|barbell|pa|community")
+		n           = flag.Int("n", 500, "node count (rounded per family)")
+		deg         = flag.Float64("deg", 16, "average degree for gnp")
+		k           = flag.Int("k", 2, "Sampler level parameter (stretch 2·3^k−1)")
+		h           = flag.Int("h", 4, "Sampler trial parameter")
+		c           = flag.Float64("c", 1, "confidence constant")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		distributed = flag.Bool("distributed", false, "run the LOCAL-model protocol")
+		trace       = flag.Bool("trace", false, "print the level-by-level hierarchy trace")
+	)
+	flag.Parse()
+
+	g := makeGraph(*kind, *n, *deg, *seed)
+	fmt.Printf("graph: %s  n=%d m=%d\n", *kind, g.NumNodes(), g.NumEdges())
+
+	p := core.Default(*k, *h)
+	p.C = *c
+	if *distributed {
+		res, err := core.BuildDistributed(g, p, *seed, local.Config{Concurrent: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(g, res.S, res.StretchBound())
+		fmt.Printf("rounds: %d  messages: %d (%.2f per edge)\n",
+			res.Run.Rounds, res.Run.Messages, float64(res.Run.Messages)/float64(g.NumEdges()))
+		for _, key := range []string{core.CntQuery, core.CntReply, core.CntTree, core.CntProbe, core.CntAccept, core.CntJoin} {
+			fmt.Printf("  %-16s %d\n", key, res.Run.Counters[key])
+		}
+		return
+	}
+	res, err := core.Build(g, p, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(g, res.S, res.StretchBound())
+	fmt.Printf("sampling cost (query-message proxy): %d\n", res.TotalSamples)
+	if res.FailSafeNodes > 0 {
+		fmt.Printf("fail-safe rescued %d nodes\n", res.FailSafeNodes)
+	}
+	if *trace {
+		fmt.Print(res.Trace())
+	}
+}
+
+func report(g *graph.Graph, s map[graph.EdgeID]bool, bound int) {
+	_, rep, err := graph.VerifySpanner(g, s, bound)
+	if err != nil {
+		log.Fatalf("spanner verification failed: %v", err)
+	}
+	fmt.Printf("spanner: |S|=%d (%.1f%% of m)  stretch bound %d  measured max %d mean %.2f\n",
+		rep.Edges, 100*float64(rep.Edges)/float64(g.NumEdges()), bound,
+		rep.MaxEdgeStretch, rep.MeanEdgeStretch)
+}
+
+func makeGraph(kind string, n int, deg float64, seed uint64) *graph.Graph {
+	rng := xrand.New(seed)
+	switch kind {
+	case "gnp":
+		return gen.Connectify(gen.GNP(n, deg/float64(n-1), rng), rng)
+	case "complete":
+		return gen.Complete(n)
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		return gen.Grid(side, side)
+	case "hypercube":
+		d := int(math.Round(math.Log2(float64(n))))
+		return gen.Hypercube(d)
+	case "barbell":
+		return gen.Barbell(n/2, 4)
+	case "pa":
+		return gen.PreferentialAttachment(n, 3, rng)
+	case "community":
+		b := 6
+		return gen.Community(b, n/b, math.Min(1, 4*deg/float64(n/b)), 0.002, rng)
+	default:
+		log.Fatalf("unknown graph family %q", kind)
+		return nil
+	}
+}

@@ -1,0 +1,87 @@
+// Broadcast comparison: t-local broadcast three ways — direct flooding,
+// flooding over a Sampler spanner, and push–pull gossip — on a dense graph
+// and on a low-conductance barbell. Reproduces the trade-offs the paper's
+// introduction describes: direct pays Θ(t·m) messages, gossip pays rounds
+// that grow with n and suffer on low conductance, and the spanner scheme
+// pays neither.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/local"
+	"repro/internal/simulate"
+)
+
+func main() {
+	const tr, seed = 3, 5
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"complete K_240", gen.Complete(240)},
+		{"barbell 2xK_120", gen.Barbell(120, 4)},
+	} {
+		g := tc.g
+		fmt.Printf("== %s: n=%d m=%d, t=%d\n", tc.name, g.NumNodes(), g.NumEdges(), tr)
+
+		// Direct flooding on G.
+		direct, err := simulate.DirectBroadcastCost(g, tr, seed, local.Config{Concurrent: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   direct flood:   %8d msgs  %4d rounds\n", direct.Run.Messages, direct.Run.Rounds)
+
+		// Spanner flooding (spanner built once; collection is the recurring
+		// per-use cost).
+		p := core.Default(2, 8)
+		p.C = 0.5
+		sp, err := core.BuildDistributed(g, p, seed, local.Config{Concurrent: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := g.SubgraphByEdges(sp.S)
+		if err != nil {
+			log.Fatal(err)
+		}
+		coll, err := simulate.Collect(g, h, sp.StretchBound()*tr, seed, local.Config{Concurrent: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   spanner flood:  %8d msgs  %4d rounds  (+one-off spanner: %d msgs, %d rounds)\n",
+			coll.Run.Messages, coll.Run.Rounds, sp.Run.Messages, sp.Run.Rounds)
+
+		// Gossip until every t-ball is covered (generous fixed budget; the
+		// cover round is detected post hoc).
+		_, cover, gmsgs, err := simulate.GossipCollect(g, tr, 2000, seed, local.Config{Concurrent: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   gossip:         %8d msgs  %4d rounds to cover all %d-balls\n", gmsgs, cover, tr)
+
+		// Sanity: spanner collection actually covered every t-ball.
+		missing := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			for _, u := range g.Ball(graph.NodeID(v), tr) {
+				if _, ok := coll.Ports[v][u]; !ok {
+					missing++
+				}
+			}
+		}
+		if missing > 0 {
+			log.Fatalf("spanner collection missed %d ball entries", missing)
+		}
+		fmt.Printf("   coverage check: every node heard its full %d-ball via the spanner\n\n", tr)
+	}
+	fmt.Println(broadcastMoral)
+}
+
+const broadcastMoral = `moral: direct flooding pays for every edge every round; gossip keeps
+messages at 2n/round but its cover time grows with n and degrades with
+conductance (compare the barbell); the spanner scheme pays a one-off
+construction and then floods a near-linear-size subgraph for a constant
+multiple of t rounds - the paper's free lunch.`

@@ -1,0 +1,63 @@
+// Message reduction end to end: run t-round LOCAL algorithms on a dense
+// graph directly, then again through the paper's scheme 1, and confirm that
+// the simulation produces identical outputs node for node.
+//
+// Two workloads bracket the claim honestly:
+//
+//   - t-hop max-ID keeps every edge busy every round, the Θ(t·m) worst case
+//     the paper's Õ(t·n^{1+ε}) bound is aimed at — here the scheme wins
+//     outright;
+//   - Luby's MIS is message-sparse on dense graphs (most nodes decide after
+//     one iteration and fall silent), so direct execution is already cheap
+//     and the simulation's worst-case insurance costs more than it saves.
+//
+// The free lunch is about the worst case over t-round algorithms; the pair
+// shows both where it pays and where it does not need to.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/graph/gen"
+)
+
+func main() {
+	const n, seed = 300, 11
+	g := gen.Complete(n)
+	fmt.Printf("graph: K_%d (n=%d, m=%d)\n\n", n, g.NumNodes(), g.NumEdges())
+
+	for _, spec := range []repro.AlgorithmSpec{
+		repro.MaxID(4),
+		repro.MIS(repro.MISRounds(n)),
+	} {
+		fmt.Printf("== %s (t=%d)\n", spec.Name, spec.T)
+		direct, err := repro.RunDirect(g, spec, seed, repro.RunConfig{Concurrent: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   direct:  %8d messages  %5d rounds\n", direct.Messages, direct.Rounds)
+
+		sim, err := repro.SimulateScheme1(g, spec, 2, seed, repro.RunConfig{Concurrent: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   scheme1: %8d messages  %5d rounds  (%.2fx direct messages)\n",
+			sim.Messages, sim.Rounds, float64(sim.Messages)/float64(direct.Messages))
+		for _, ph := range sim.Phases {
+			fmt.Printf("      %-8s %8d messages  %5d rounds\n", ph.Name, ph.Messages, ph.Rounds)
+		}
+
+		for v := range direct.Outputs {
+			if sim.Outputs[v] != direct.Outputs[v] {
+				log.Fatalf("node %d: simulated %v != direct %v", v, sim.Outputs[v], direct.Outputs[v])
+			}
+		}
+		fmt.Printf("   fidelity: all %d node outputs identical\n\n", n)
+	}
+
+	fmt.Println("note: max-ID is the message-dense regime the theorem targets (direct\n" +
+		"cost ~ t·m); MIS goes quiet after a round on K_n, so its direct cost is\n" +
+		"already o(t·m) and the scheme's worst-case insurance does not pay there.")
+}

@@ -1,0 +1,38 @@
+// Quickstart: build a constant-stretch spanner with algorithm Sampler and
+// verify it, in a dozen lines of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/graph/gen"
+	"repro/internal/xrand"
+)
+
+func main() {
+	// A connected random graph: 500 nodes, average degree ~24.
+	g := gen.ConnectedGNP(500, 24.0/499, xrand.New(7))
+	fmt.Printf("input graph: n=%d m=%d\n", g.NumNodes(), g.NumEdges())
+
+	// Build the spanner with the distributed protocol (the paper's
+	// Section 5) and inspect its cost.
+	sp, err := repro.BuildSpanner(g, repro.SpannerOptions{
+		K: 2, H: 4, C: 0.5, Seed: 42, Distributed: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spanner: %d edges (%.1f%% of m), certified stretch <= %d\n",
+		len(sp.Edges), 100*float64(len(sp.Edges))/float64(g.NumEdges()), sp.StretchBound)
+	fmt.Printf("construction: %d rounds, %d messages (%.2f per input edge)\n",
+		sp.Rounds, sp.Messages, float64(sp.Messages)/float64(g.NumEdges()))
+
+	// Verify the stretch certificate against the actual graph.
+	maxStretch, err := sp.Verify(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified: measured max stretch %d (bound %d)\n", maxStretch, sp.StretchBound)
+}

@@ -1,0 +1,221 @@
+// Package repro is a Go reproduction of "Message Reduction in the LOCAL
+// Model Is a Free Lunch" (Bitton, Emek, Izumi, Kutten; DISC 2019).
+//
+// The paper shows that any t-round LOCAL algorithm can be simulated in O(t)
+// rounds while sending only Õ(t·n^{1+ε}) messages — independent of the edge
+// count m. Its engine is algorithm Sampler, a randomized spanner
+// construction with constant stretch, near-linear size, and o(m) message
+// complexity in the LOCAL model with unique edge IDs.
+//
+// This package is the facade over the implementation:
+//
+//   - BuildSpanner runs algorithm Sampler (centralized reference or the
+//     full distributed protocol under the bundled LOCAL simulator);
+//   - SimulateScheme1 / SimulateScheme2 run the paper's two
+//     message-reduction schemes end to end on a target algorithm;
+//   - RunDirect executes a target algorithm directly (the ground truth and
+//     the Θ(t·m)-message baseline).
+//
+// Graph construction, generators, target algorithms, and the LOCAL runtime
+// live in the internal packages (internal/graph, internal/graph/gen,
+// internal/algorithms, internal/local); the most useful types are aliased
+// here so typical use needs only this package plus the generators.
+package repro
+
+import (
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/simulate"
+)
+
+// Aliases for the types a typical caller touches.
+type (
+	// Graph is an undirected multigraph with unique edge IDs.
+	Graph = graph.Graph
+	// NodeID identifies a node (0..n-1).
+	NodeID = graph.NodeID
+	// EdgeID is a globally unique edge identifier.
+	EdgeID = graph.EdgeID
+	// AlgorithmSpec describes a t-round LOCAL algorithm to simulate.
+	AlgorithmSpec = algorithms.Spec
+	// RunConfig configures the LOCAL simulator (engine choice, KT1, ...).
+	RunConfig = local.Config
+)
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// SpannerOptions configures BuildSpanner.
+type SpannerOptions struct {
+	// K is the hierarchy depth (stretch bound 2·3^K − 1, size exponent
+	// 1 + 1/(2^{K+1}−1)). Default 2.
+	K int
+	// H is the trial parameter (message exponent surplus 1/H; round factor
+	// H). Default 4.
+	H int
+	// C scales the whp thresholds. Default 1; experiments at n below a few
+	// thousand often use 0.5.
+	C float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Distributed selects the full LOCAL-model protocol (Section 5 of the
+	// paper) instead of the centralized reference implementation; the
+	// result then carries round and message costs.
+	Distributed bool
+	// Run configures the simulator in distributed mode.
+	Run RunConfig
+}
+
+func (o SpannerOptions) params() core.Params {
+	k, h := o.K, o.H
+	if k == 0 {
+		k = 2
+	}
+	if h == 0 {
+		h = 4
+	}
+	p := core.Default(k, h)
+	if o.C != 0 {
+		p.C = o.C
+	}
+	return p
+}
+
+// Spanner is a constructed spanner with its certificate and cost.
+type Spanner struct {
+	// Edges is the spanner edge set S ⊆ E.
+	Edges map[EdgeID]bool
+	// StretchBound is the certified stretch 2·3^K − 1.
+	StretchBound int
+	// Rounds and Messages are the distributed construction costs (zero for
+	// centralized builds, whose cost model is not message passing).
+	Rounds   int
+	Messages int64
+}
+
+// Subgraph materializes H = (V, S) over the original graph.
+func (s *Spanner) Subgraph(g *Graph) (*Graph, error) {
+	return g.SubgraphByEdges(s.Edges)
+}
+
+// Verify checks that the spanner spans g within its certified stretch,
+// returning the measured maximum edge stretch.
+func (s *Spanner) Verify(g *Graph) (int, error) {
+	_, rep, err := graph.VerifySpanner(g, s.Edges, s.StretchBound)
+	if err != nil {
+		return 0, err
+	}
+	return rep.MaxEdgeStretch, nil
+}
+
+// BuildSpanner runs algorithm Sampler on the connected simple graph g.
+func BuildSpanner(g *Graph, opts SpannerOptions) (*Spanner, error) {
+	p := opts.params()
+	if opts.Distributed {
+		res, err := core.BuildDistributed(g, p, opts.Seed, opts.Run)
+		if err != nil {
+			return nil, err
+		}
+		return &Spanner{
+			Edges:        res.S,
+			StretchBound: res.StretchBound(),
+			Rounds:       res.Run.Rounds,
+			Messages:     res.Run.Messages,
+		}, nil
+	}
+	res, err := core.Build(g, p, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Spanner{Edges: res.S, StretchBound: res.StretchBound()}, nil
+}
+
+// Target algorithm constructors, re-exported for convenience.
+var (
+	// MaxID is the t-hop maximum-identity algorithm (exact oracle: BFS).
+	MaxID = algorithms.MaxID
+	// MIS is Luby's maximal independent set with a fixed round budget.
+	MIS = algorithms.MIS
+	// MISRounds is the default whp-termination budget for MIS.
+	MISRounds = algorithms.MISRounds
+	// Coloring is randomized (Δ+1)-coloring with a fixed round budget.
+	Coloring = algorithms.Coloring
+	// ColoringRounds is the default whp budget for Coloring.
+	ColoringRounds = algorithms.ColoringRounds
+	// BFSLayers computes hop distances from a source up to t.
+	BFSLayers = algorithms.BFS
+)
+
+// SimulationResult is the outcome of a simulated (or direct) execution.
+type SimulationResult struct {
+	// Outputs holds each node's output, index = node.
+	Outputs []any
+	// Rounds and Messages are the total execution costs.
+	Rounds   int
+	Messages int64
+	// Phases itemizes the pipeline (spanner construction, collections) for
+	// the simulation schemes; nil for direct runs.
+	Phases []simulate.PhaseCost
+}
+
+// RunDirect executes the algorithm directly on g: the ground truth and the
+// Θ(t·m)-message baseline.
+func RunDirect(g *Graph, spec AlgorithmSpec, seed uint64, cfg RunConfig) (*SimulationResult, error) {
+	outs, run, err := simulate.Direct(g, spec, seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SimulationResult{Outputs: outs, Rounds: run.Rounds, Messages: run.Messages}, nil
+}
+
+// SimulateScheme1 simulates spec on g with the paper's first
+// message-reduction scheme (Theorem 3): a Sampler spanner with parameter
+// gamma carries a stretch·t-round collection of every node's initial
+// knowledge; outputs are recovered by local replay and match RunDirect's
+// exactly (same seed).
+func SimulateScheme1(g *Graph, spec AlgorithmSpec, gamma int, seed uint64, cfg RunConfig) (*SimulationResult, error) {
+	res, err := simulate.Scheme1(g, spec, simulate.Scheme1Params(gamma), seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return schemeResult(res, spec)
+}
+
+// SimulateScheme2 simulates spec with the paper's two-stage scheme: the
+// Sampler spanner first simulates an off-the-shelf spanner construction
+// (Baswana–Sen with stretch 2·bsK−1), whose output carries the final
+// collection.
+func SimulateScheme2(g *Graph, spec AlgorithmSpec, gamma, bsK int, seed uint64, cfg RunConfig) (*SimulationResult, error) {
+	res, err := simulate.Scheme2(g, spec, simulate.Scheme1Params(gamma), bsK, seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return schemeResult(res, spec)
+}
+
+// SimulateScheme2EN is SimulateScheme2 with the Elkin–Neiman construction
+// as the simulated stage (stretch 2·enK−1 in enK+O(1) rounds instead of
+// Baswana–Sen's O(enK²)) — the improvement anticipated by the paper's
+// concluding remarks.
+func SimulateScheme2EN(g *Graph, spec AlgorithmSpec, gamma, enK int, seed uint64, cfg RunConfig) (*SimulationResult, error) {
+	res, err := simulate.Scheme2With(g, spec, simulate.Scheme1Params(gamma), simulate.ElkinNeimanStage2(enK), seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return schemeResult(res, spec)
+}
+
+func schemeResult(res *simulate.SchemeResult, spec AlgorithmSpec) (*SimulationResult, error) {
+	outs, err := res.Coll.ReplayAll(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &SimulationResult{
+		Outputs:  outs,
+		Rounds:   res.TotalRounds(),
+		Messages: res.TotalMessages(),
+		Phases:   res.Phases,
+	}, nil
+}

@@ -1,0 +1,119 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/xrand"
+)
+
+func TestBuildSpannerDefaults(t *testing.T) {
+	g := gen.ConnectedGNP(200, 0.06, xrand.New(1))
+	sp, err := BuildSpanner(g, SpannerOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.StretchBound != 17 { // defaults K=2
+		t.Fatalf("default stretch bound = %d", sp.StretchBound)
+	}
+	max, err := sp.Verify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max > sp.StretchBound {
+		t.Fatalf("stretch %d > bound", max)
+	}
+	h, err := sp.Subgraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != len(sp.Edges) {
+		t.Fatal("subgraph size mismatch")
+	}
+}
+
+func TestBuildSpannerDistributed(t *testing.T) {
+	g := gen.ConnectedGNP(150, 0.08, xrand.New(2))
+	sp, err := BuildSpanner(g, SpannerOptions{K: 1, H: 2, Seed: 5, Distributed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Rounds == 0 || sp.Messages == 0 {
+		t.Fatal("distributed build reported no costs")
+	}
+	if _, err := sp.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateScheme1MatchesDirect(t *testing.T) {
+	g := gen.ConnectedGNP(80, 0.08, xrand.New(3))
+	spec := MaxID(3)
+	const seed = 7
+	direct, err := RunDirect(g, spec, seed, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := SimulateScheme1(g, spec, 1, seed, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range direct.Outputs {
+		if direct.Outputs[v] != sim.Outputs[v] {
+			t.Fatalf("node %d: %v != %v", v, direct.Outputs[v], sim.Outputs[v])
+		}
+	}
+	if len(sim.Phases) != 2 {
+		t.Fatal("phase accounting missing")
+	}
+}
+
+func TestSimulateScheme2MatchesDirect(t *testing.T) {
+	g := gen.ConnectedGNP(60, 0.12, xrand.New(4))
+	spec := MIS(MISRounds(60))
+	const seed = 9
+	direct, err := RunDirect(g, spec, seed, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := SimulateScheme2(g, spec, 1, 2, seed, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range direct.Outputs {
+		if direct.Outputs[v] != sim.Outputs[v] {
+			t.Fatalf("node %d: %v != %v", v, direct.Outputs[v], sim.Outputs[v])
+		}
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // multigraph
+	if _, err := BuildSpanner(g, SpannerOptions{Distributed: true}); err == nil {
+		t.Fatal("distributed build accepted a multigraph")
+	}
+}
+
+func TestSimulateScheme2ENMatchesDirect(t *testing.T) {
+	g := gen.ConnectedGNP(60, 0.12, xrand.New(5))
+	spec := MaxID(2)
+	const seed = 15
+	direct, err := RunDirect(g, spec, seed, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := SimulateScheme2EN(g, spec, 1, 2, seed, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range direct.Outputs {
+		if direct.Outputs[v] != sim.Outputs[v] {
+			t.Fatalf("node %d: %v != %v", v, direct.Outputs[v], sim.Outputs[v])
+		}
+	}
+	if len(sim.Phases) != 3 {
+		t.Fatal("scheme2 phase accounting")
+	}
+}

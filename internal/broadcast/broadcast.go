@@ -1,0 +1,261 @@
+// Package broadcast implements the t-local broadcast primitive of the
+// paper's Section 6 — every node v delivers its message M_v to all nodes
+// within distance t — in the three forms the experiments compare:
+//
+//   - Flood on the communication graph G itself: the direct baseline,
+//     Θ(t·m) messages;
+//   - Flood on a spanner H with stretch α for α·t rounds: the paper's
+//     scheme, Θ(α·t·|S|) messages, reaching a superset of each t-ball;
+//   - push–pull Gossip: the [Censor-Hillel et al.; Haeupler] family's
+//     message profile (Θ(n) messages per round), whose round count we
+//     measure empirically — it blows up with the graph's conductance, which
+//     is exactly the behaviour the paper's introduction contrasts against.
+package broadcast
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+// Result is the outcome of a broadcast run.
+type Result struct {
+	// Known maps, per node, each heard origin to its payload.
+	Known []map[graph.NodeID]any
+	// Arrival maps, per node, each heard origin to the round it was first
+	// heard (own rumor: round 0).
+	Arrival []map[graph.NodeID]int
+	// Run carries the LOCAL cost metrics.
+	Run local.Result
+}
+
+// rumor is one node's message in transit.
+type rumor struct {
+	Origin  graph.NodeID
+	Payload any
+}
+
+// floodBatch is the set of rumors forwarded over one edge in one round.
+type floodBatch []rumor
+
+// floodNode floods newly learned rumors to all neighbors each round.
+type floodNode struct {
+	t       int
+	self    any // this node's own message M_v
+	known   map[graph.NodeID]any
+	arrival map[graph.NodeID]int
+	fresh   []rumor
+}
+
+func (p *floodNode) Step(env *local.Env, round int, inbox []local.Message) {
+	if round == 0 {
+		p.known = map[graph.NodeID]any{env.ID(): p.self}
+		p.arrival = map[graph.NodeID]int{env.ID(): 0}
+		p.fresh = append(p.fresh, rumor{Origin: env.ID(), Payload: p.self})
+	}
+	for _, m := range inbox {
+		for _, r := range m.Payload.(floodBatch) {
+			if _, ok := p.known[r.Origin]; !ok {
+				p.known[r.Origin] = r.Payload
+				p.arrival[r.Origin] = round
+				p.fresh = append(p.fresh, r)
+			}
+		}
+	}
+	if round >= p.t {
+		env.Halt()
+		return
+	}
+	if len(p.fresh) > 0 {
+		for _, pt := range env.Ports() {
+			env.Send(pt.Edge, floodBatch(p.fresh))
+		}
+		p.fresh = nil
+	}
+}
+
+// Flood floods each node's rumor (payloads[v], which may be nil) over host
+// for exactly rounds rounds. After the run, node v knows the rumor of every
+// node within host-distance rounds of v, with Arrival equal to that
+// distance.
+func Flood(host *graph.Graph, payloads []any, rounds int, cfg local.Config) (*Result, error) {
+	if host == nil {
+		return nil, fmt.Errorf("broadcast: nil host graph")
+	}
+	if len(payloads) != host.NumNodes() {
+		return nil, fmt.Errorf("broadcast: %d payloads for %d nodes", len(payloads), host.NumNodes())
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("broadcast: negative round budget")
+	}
+	nodes := make([]*floodNode, host.NumNodes())
+	cfg.MaxRounds = rounds + 1
+	run, err := local.Run(host, func(v graph.NodeID) local.Protocol {
+		nd := &floodNode{t: rounds, self: payloads[v]}
+		nodes[v] = nd
+		return nd
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Run: run}
+	for _, nd := range nodes {
+		res.Known = append(res.Known, nd.known)
+		res.Arrival = append(res.Arrival, nd.arrival)
+	}
+	return res, nil
+}
+
+// gossipNode implements synchronous push–pull gossip: each round it pushes
+// its full rumor set over one uniformly random incident edge and answers
+// last round's pushes with its full set.
+type gossipNode struct {
+	t       int
+	known   map[graph.NodeID]any
+	arrival map[graph.NodeID]int
+	replyTo []graph.EdgeID
+}
+
+type gossipPush struct{ Rumors []rumor }
+type gossipPull struct{ Rumors []rumor }
+
+func (p *gossipNode) Step(env *local.Env, round int, inbox []local.Message) {
+	if round == 0 {
+		p.known = map[graph.NodeID]any{env.ID(): nil} // payload patched by harness
+		p.arrival = map[graph.NodeID]int{env.ID(): 0}
+	}
+	for _, m := range inbox {
+		var rumors []rumor
+		switch msg := m.Payload.(type) {
+		case gossipPush:
+			rumors = msg.Rumors
+			p.replyTo = append(p.replyTo, m.Edge)
+		case gossipPull:
+			rumors = msg.Rumors
+		}
+		for _, r := range rumors {
+			if _, ok := p.known[r.Origin]; !ok {
+				p.known[r.Origin] = r.Payload
+				p.arrival[r.Origin] = round
+			}
+		}
+	}
+	if round >= p.t {
+		env.Halt()
+		return
+	}
+	all := p.snapshot()
+	for _, e := range p.replyTo {
+		env.Send(e, gossipPull{Rumors: all})
+	}
+	p.replyTo = nil
+	if env.Degree() > 0 {
+		pt := env.Ports()[env.Rand().Intn(env.Degree())]
+		env.Send(pt.Edge, gossipPush{Rumors: all})
+	}
+}
+
+func (p *gossipNode) snapshot() []rumor {
+	out := make([]rumor, 0, len(p.known))
+	for o, pl := range p.known {
+		out = append(out, rumor{Origin: o, Payload: pl})
+	}
+	return out
+}
+
+// Gossip runs push–pull gossip on host for exactly rounds rounds (choose a
+// generous budget and use CoverRound to find when coverage was actually
+// achieved). Message complexity is at most 2n per round by construction.
+func Gossip(host *graph.Graph, payloads []any, rounds int, cfg local.Config) (*Result, error) {
+	if host == nil {
+		return nil, fmt.Errorf("broadcast: nil host graph")
+	}
+	if len(payloads) != host.NumNodes() {
+		return nil, fmt.Errorf("broadcast: %d payloads for %d nodes", len(payloads), host.NumNodes())
+	}
+	nodes := make([]*gossipNode, host.NumNodes())
+	cfg.MaxRounds = rounds + 1
+	run, err := local.Run(host, func(v graph.NodeID) local.Protocol {
+		nd := &gossipNode{t: rounds}
+		nodes[v] = nd
+		return nd
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Run: run}
+	for _, nd := range nodes {
+		// Rumors travel as bare origins; rebind payloads from ground truth.
+		for o := range nd.known {
+			nd.known[o] = payloads[o]
+		}
+		res.Known = append(res.Known, nd.known)
+		res.Arrival = append(res.Arrival, nd.arrival)
+	}
+	return res, nil
+}
+
+// CoverRound returns the earliest round by which every node had heard the
+// rumor of every node in its distance-t ball of g, or -1 if the run ended
+// before that. Combine with Result.Run.PerRound (see MessagesUpTo) to get
+// the message cost of achieving t-local broadcast.
+func CoverRound(g *graph.Graph, arrival []map[graph.NodeID]int, t int) int {
+	worst := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Ball(graph.NodeID(v), t) {
+			r, ok := arrival[v][u]
+			if !ok {
+				return -1
+			}
+			if r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+// MessagesUpTo sums per-round message counts through the given round
+// (inclusive). Rounds beyond the recorded horizon are ignored.
+func MessagesUpTo(run local.Result, round int) int64 {
+	var total int64
+	for r, c := range run.PerRound {
+		if r > round {
+			break
+		}
+		total += c
+	}
+	return total
+}
+
+// Payload sizes (local.Sizer): a rumor costs one word for its origin plus
+// the size of its content (port lists count their length).
+
+func rumorUnits(rs []rumor) int64 {
+	var u int64
+	for _, r := range rs {
+		u += 1 + contentUnits(r.Payload)
+	}
+	return u
+}
+
+func contentUnits(p any) int64 {
+	switch v := p.(type) {
+	case []graph.EdgeID:
+		return int64(len(v))
+	case nil:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// PayloadUnits implements local.Sizer for flood batches.
+func (b floodBatch) PayloadUnits() int64 { return rumorUnits(b) }
+
+// PayloadUnits implements local.Sizer.
+func (m gossipPush) PayloadUnits() int64 { return rumorUnits(m.Rumors) }
+
+// PayloadUnits implements local.Sizer.
+func (m gossipPull) PayloadUnits() int64 { return rumorUnits(m.Rumors) }

@@ -1,0 +1,181 @@
+package broadcast
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/local"
+	"repro/internal/xrand"
+)
+
+func mkPayloads(n int) []any {
+	p := make([]any, n)
+	for i := range p {
+		p[i] = i * 10
+	}
+	return p
+}
+
+func TestFloodExactBalls(t *testing.T) {
+	g := gen.ConnectedGNP(120, 0.04, xrand.New(1))
+	for _, tRounds := range []int{0, 1, 3} {
+		res, err := Flood(g, mkPayloads(g.NumNodes()), tRounds, local.Config{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			ball := g.Ball(graph.NodeID(v), tRounds)
+			if len(res.Known[v]) != len(ball) {
+				t.Fatalf("t=%d node %d knows %d rumors, ball has %d",
+					tRounds, v, len(res.Known[v]), len(ball))
+			}
+			dist := g.BFS(graph.NodeID(v), tRounds)
+			for _, u := range ball {
+				if res.Known[v][u] != int(u)*10 {
+					t.Fatalf("payload corrupted: %v", res.Known[v][u])
+				}
+				if res.Arrival[v][u] != dist[u] {
+					t.Fatalf("arrival %d != distance %d", res.Arrival[v][u], dist[u])
+				}
+			}
+		}
+	}
+}
+
+func TestFloodMessageCost(t *testing.T) {
+	// Flooding for t rounds costs at most 2·t·|E| messages and at least |E|
+	// (round 0 sends on every half-edge... each node sends its own rumor).
+	g := gen.Grid(8, 8)
+	const tr = 4
+	res, err := Flood(g, mkPayloads(g.NumNodes()), tr, local.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := int64(2 * tr * g.NumEdges())
+	if res.Run.Messages > hi {
+		t.Fatalf("flood sent %d messages, cap %d", res.Run.Messages, hi)
+	}
+	if res.Run.Messages < int64(2*g.NumEdges()) {
+		t.Fatalf("flood sent %d messages, expected at least one full sweep", res.Run.Messages)
+	}
+}
+
+func TestFloodOnSpannerCoversBalls(t *testing.T) {
+	// Flooding on a stretch-α spanner for α·t rounds must reach a superset
+	// of every t-ball of g — the heart of the paper's simulation technique.
+	g := gen.ConnectedGNP(150, 0.07, xrand.New(3))
+	sp, err := core.Build(g, core.Default(2, 2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := graph.VerifySpanner(g, sp.S, sp.StretchBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tr = 2
+	res, err := Flood(h, mkPayloads(g.NumNodes()), sp.StretchBound()*tr, local.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Ball(graph.NodeID(v), tr) {
+			if _, ok := res.Known[v][u]; !ok {
+				t.Fatalf("node %d missed rumor of %d (distance <= %d)", v, u, tr)
+			}
+		}
+	}
+	// And it should cost far fewer messages than flooding g directly when g
+	// is dense relative to the spanner.
+	direct, err := Flood(g, mkPayloads(g.NumNodes()), tr, local.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("spanner flood: %d msgs, direct flood: %d msgs", res.Run.Messages, direct.Run.Messages)
+}
+
+func TestFloodValidation(t *testing.T) {
+	if _, err := Flood(nil, nil, 1, local.Config{}); err == nil {
+		t.Fatal("nil host accepted")
+	}
+	g := gen.Path(3)
+	if _, err := Flood(g, make([]any, 2), 1, local.Config{}); err == nil {
+		t.Fatal("short payloads accepted")
+	}
+	if _, err := Flood(g, make([]any, 3), -1, local.Config{}); err == nil {
+		t.Fatal("negative rounds accepted")
+	}
+}
+
+func TestGossipEventuallyCovers(t *testing.T) {
+	g := gen.ConnectedGNP(60, 0.15, xrand.New(4))
+	const tr = 2
+	res, err := Gossip(g, mkPayloads(g.NumNodes()), 400, local.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := CoverRound(g, res.Arrival, tr)
+	if cover < 0 {
+		t.Fatal("gossip did not cover t-balls within 400 rounds")
+	}
+	if cover <= tr {
+		t.Fatalf("gossip covered in %d rounds; even flooding needs %d", cover, tr)
+	}
+	msgs := MessagesUpTo(res.Run, cover)
+	if msgs <= 0 || msgs > int64(cover+1)*2*int64(g.NumNodes()) {
+		t.Fatalf("gossip messages to cover = %d outside (0, 2n(r+1)]", msgs)
+	}
+}
+
+func TestGossipMessagesPerRoundBounded(t *testing.T) {
+	g := gen.ConnectedGNP(80, 0.1, xrand.New(5))
+	res, err := Gossip(g, mkPayloads(g.NumNodes()), 50, local.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, c := range res.Run.PerRound {
+		if c > 2*int64(g.NumNodes()) {
+			t.Fatalf("round %d sent %d messages > 2n", r, c)
+		}
+	}
+}
+
+func TestGossipSlowOnBarbell(t *testing.T) {
+	// Low conductance strangles gossip: the single bridge carries rumors
+	// across at ~1 per round. This is the round blow-up the paper removes.
+	g := gen.Barbell(20, 2) // 42 nodes
+	const tr = 3
+	gossip, err := Gossip(g, mkPayloads(g.NumNodes()), 2000, local.Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := CoverRound(g, gossip.Arrival, tr)
+	if cover < 0 {
+		t.Fatal("gossip never covered")
+	}
+	if cover < 3*tr {
+		t.Fatalf("gossip covered a barbell in %d rounds; expected a clear blow-up over t=%d", cover, tr)
+	}
+}
+
+func TestCoverRoundNotCovered(t *testing.T) {
+	g := gen.Path(5)
+	res, err := Gossip(g, mkPayloads(5), 0, local.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CoverRound(g, res.Arrival, 2) != -1 {
+		t.Fatal("zero-round gossip cannot cover 2-balls")
+	}
+}
+
+func TestMessagesUpTo(t *testing.T) {
+	run := local.Result{PerRound: []int64{5, 7, 11}}
+	if MessagesUpTo(run, 1) != 12 {
+		t.Fatal("prefix sum wrong")
+	}
+	if MessagesUpTo(run, 99) != 23 {
+		t.Fatal("overflow horizon wrong")
+	}
+}

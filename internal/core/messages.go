@@ -1,0 +1,230 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// boundary is an immutable cluster-boundary set shared by reference between
+// a cluster's members and, crucially, inside messages: the LOCAL model does
+// not charge for message size, and sharing the canonical set avoids copying
+// potentially large edge lists per query reply. All receivers treat it as
+// read-only.
+type boundary struct {
+	list []graph.EdgeID // sorted
+	set  map[graph.EdgeID]bool
+}
+
+func newBoundary(edges []graph.EdgeID) *boundary {
+	b := &boundary{
+		list: append([]graph.EdgeID(nil), edges...),
+		set:  make(map[graph.EdgeID]bool, len(edges)),
+	}
+	sort.Slice(b.list, func(i, j int) bool { return b.list[i] < b.list[j] })
+	for _, e := range b.list {
+		b.set[e] = true
+	}
+	return b
+}
+
+func (b *boundary) contains(e graph.EdgeID) bool { return b != nil && b.set[e] }
+
+// Message payloads of the distributed Sampler. Every type is dispatched on
+// receipt by type, not by phase, which makes the state machine robust to
+// scheduling slack. Slices inside messages are read-only for receivers.
+
+// mTrial flows down the cluster tree at each trial: the root's sampled query
+// edges plus spanner-edge additions decided since the previous broadcast.
+type mTrial struct {
+	Samples []graph.EdgeID
+	FAdds   []graph.EdgeID
+	Idle    bool // the root finished early; no queries this trial
+}
+
+// mQuery asks the far endpoint of a sampled edge to identify its cluster.
+type mQuery struct{}
+
+// mReply answers a query (and a fail-safe query). B carries the replying
+// cluster's full boundary — the device that lets the querier peel off every
+// parallel edge to that cluster at once. A nil B means "peel only the query
+// edge" (level 0, where the input graph is simple and the boundary is
+// redundant). IsCenter is meaningful only for fail-safe replies, which
+// happen after center coins are public knowledge inside each cluster.
+type mReply struct {
+	Root     graph.NodeID
+	Dead     bool
+	IsCenter bool
+	B        *boundary
+}
+
+// mAccept tells the far endpoint of an edge that the edge joined the
+// spanner.
+type mAccept struct{}
+
+// replyItem is a (query edge, reply) pair aggregated up the tree.
+type replyItem struct {
+	Edge     graph.EdgeID
+	Root     graph.NodeID
+	Dead     bool
+	IsCenter bool
+	B        *boundary
+}
+
+// mConvReply carries aggregated query replies toward the root.
+type mConvReply struct{ Items []replyItem }
+
+// mCenter flows down after the trials: the cluster's center coin, the edges
+// over which to probe queried clusters for their center status, and F
+// additions from the final trial.
+type mCenter struct {
+	IsCenter bool
+	Probes   []graph.EdgeID
+	FAdds    []graph.EdgeID
+}
+
+// mProbe asks a queried cluster whether it is a center.
+type mProbe struct{}
+
+// mProbeReply answers a probe.
+type mProbeReply struct {
+	Root     graph.NodeID
+	IsCenter bool
+}
+
+type probeItem struct {
+	Edge     graph.EdgeID
+	Root     graph.NodeID
+	IsCenter bool
+}
+
+// mConvProbe carries aggregated probe replies toward the root.
+type mConvProbe struct{ Items []probeItem }
+
+// mFS flows down when the fail-safe fires: every remaining unexplored edge
+// is to be queried exhaustively.
+type mFS struct{ Edges []graph.EdgeID }
+
+// mFSQuery is the fail-safe variant of mQuery (answered by mReply with
+// IsCenter set).
+type mFSQuery struct{}
+
+// mConvFS carries aggregated fail-safe replies toward the root.
+type mConvFS struct{ Items []replyItem }
+
+// decision is a cluster's fate at the end of a level.
+type decision int
+
+const (
+	decNone   decision = iota
+	decCenter          // survives as a level-(j+1) node
+	decJoin            // merges into a neighboring center
+	decDead            // unclustered: stops participating, answers queries forever
+)
+
+// mDecide flows down the tree with the root's verdict. For decJoin the owner
+// of JoinEdge ships the cluster boundary across it next phase.
+type mDecide struct {
+	Decision decision
+	JoinEdge graph.EdgeID
+	FAdds    []graph.EdgeID
+}
+
+// mJoin crosses the join edge into the center cluster.
+type mJoin struct {
+	JoinerRoot graph.NodeID
+	B          *boundary
+}
+
+type joinItem struct {
+	Edge graph.EdgeID
+	B    *boundary
+}
+
+// mConvJoin carries accepted joins toward the center root.
+type mConvJoin struct{ Items []joinItem }
+
+// mNewCluster floods the merged cluster: new root, new boundary, and hop
+// depth. Receipt re-roots joiner trees automatically (first-arrival edge
+// becomes the parent).
+type mNewCluster struct {
+	Root  graph.NodeID
+	B     *boundary
+	Depth int
+}
+
+// mFlush is the final-level broadcast of the last F additions.
+type mFlush struct{ FAdds []graph.EdgeID }
+
+// Payload sizes (local.Sizer): one unit per O(log n)-bit word — an edge ID,
+// a node ID, a flag. Shared *boundary references count their full list
+// length: sharing is a simulator optimization, but the model "transmits"
+// the set.
+
+func blen(b *boundary) int64 {
+	if b == nil {
+		return 0
+	}
+	return int64(len(b.list))
+}
+
+// PayloadUnits implements local.Sizer.
+func (m mTrial) PayloadUnits() int64 {
+	return 1 + int64(len(m.Samples)) + int64(len(m.FAdds))
+}
+
+// PayloadUnits implements local.Sizer.
+func (m mReply) PayloadUnits() int64 { return 3 + blen(m.B) }
+
+// PayloadUnits implements local.Sizer.
+func (m mConvReply) PayloadUnits() int64 {
+	var u int64
+	for _, it := range m.Items {
+		u += 4 + blen(it.B)
+	}
+	return 1 + u
+}
+
+// PayloadUnits implements local.Sizer.
+func (m mCenter) PayloadUnits() int64 {
+	return 1 + int64(len(m.Probes)) + int64(len(m.FAdds))
+}
+
+// PayloadUnits implements local.Sizer.
+func (m mProbeReply) PayloadUnits() int64 { return 2 }
+
+// PayloadUnits implements local.Sizer.
+func (m mConvProbe) PayloadUnits() int64 { return 1 + 3*int64(len(m.Items)) }
+
+// PayloadUnits implements local.Sizer.
+func (m mFS) PayloadUnits() int64 { return 1 + int64(len(m.Edges)) }
+
+// PayloadUnits implements local.Sizer.
+func (m mConvFS) PayloadUnits() int64 {
+	var u int64
+	for _, it := range m.Items {
+		u += 4 + blen(it.B)
+	}
+	return 1 + u
+}
+
+// PayloadUnits implements local.Sizer.
+func (m mDecide) PayloadUnits() int64 { return 2 + int64(len(m.FAdds)) }
+
+// PayloadUnits implements local.Sizer.
+func (m mJoin) PayloadUnits() int64 { return 2 + blen(m.B) }
+
+// PayloadUnits implements local.Sizer.
+func (m mConvJoin) PayloadUnits() int64 {
+	var u int64
+	for _, it := range m.Items {
+		u += 2 + blen(it.B)
+	}
+	return 1 + u
+}
+
+// PayloadUnits implements local.Sizer.
+func (m mNewCluster) PayloadUnits() int64 { return 3 + blen(m.B) }
+
+// PayloadUnits implements local.Sizer.
+func (m mFlush) PayloadUnits() int64 { return 1 + int64(len(m.FAdds)) }

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/xrand"
+)
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		p  Params
+		ok bool
+	}{
+		{Default(1, 1), true},
+		{Default(3, 8), true},
+		{Paper(2, 4, 0.5), true},
+		{Params{K: 0, H: 1, C: 1}, false},
+		{Params{K: 1, H: 0, C: 1}, false},
+		{Params{K: 1, H: 1, C: 0}, false},
+		{Params{K: 1, H: 1, C: 1, CSample: -1}, false},
+		{Params{K: 1, H: 1, C: 1, ThresholdLogPow: -1}, false},
+	}
+	for i, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestParamsDerived(t *testing.T) {
+	p := Default(1, 2)
+	if p.Delta() != 1.0/3 {
+		t.Fatalf("delta = %v", p.Delta())
+	}
+	if p.Epsilon() != 0.5 {
+		t.Fatalf("epsilon = %v", p.Epsilon())
+	}
+	if p.StretchBound() != 5 {
+		t.Fatalf("stretch bound = %d", p.StretchBound())
+	}
+	p2 := Default(2, 4)
+	if p2.Delta() != 1.0/7 {
+		t.Fatalf("delta(k=2) = %v", p2.Delta())
+	}
+	if p2.StretchBound() != 17 {
+		t.Fatalf("stretch bound(k=2) = %d", p2.StretchBound())
+	}
+	if got := p2.PredictedSizeExponent(); math.Abs(got-(1+1.0/7)) > 1e-12 {
+		t.Fatalf("size exponent = %v", got)
+	}
+	if got := p2.PredictedMessageExponent(); math.Abs(got-(1+1.0/7+0.25)) > 1e-12 {
+		t.Fatalf("msg exponent = %v", got)
+	}
+}
+
+func TestCenterProbMonotone(t *testing.T) {
+	p := Default(3, 4)
+	n := 10000
+	prev := 1.0
+	for j := 0; j < 3; j++ {
+		pj := p.centerProb(j, n)
+		if pj <= 0 || pj >= 1 {
+			t.Fatalf("p_%d = %v out of (0,1)", j, pj)
+		}
+		if pj >= prev {
+			t.Fatalf("p_%d = %v not decreasing", j, pj)
+		}
+		prev = pj
+	}
+}
+
+func TestThresholdGrowsWithLevel(t *testing.T) {
+	p := Default(3, 4)
+	n := 10000
+	prev := 0
+	for j := 0; j <= 3; j++ {
+		th := p.threshold(j, n)
+		if th <= prev {
+			t.Fatalf("threshold_%d = %d not increasing (prev %d)", j, th, prev)
+		}
+		prev = th
+	}
+}
+
+func buildOn(t *testing.T, g *graph.Graph, p Params, seed uint64) *Result {
+	t.Helper()
+	res, err := Build(g, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func verify(t *testing.T, g *graph.Graph, res *Result) graph.StretchReport {
+	t.Helper()
+	if err := res.ValidateHierarchy(g); err != nil {
+		t.Fatalf("hierarchy invalid: %v", err)
+	}
+	_, rep, err := graph.VerifySpanner(g, res.S, res.StretchBound())
+	if err != nil {
+		t.Fatalf("spanner invalid: %v", err)
+	}
+	return rep
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(nil, Default(1, 1), 1); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Build(gen.Cycle(5), Params{}, 1); err == nil {
+		t.Fatal("zero params accepted")
+	}
+}
+
+func TestBuildOnTinyGraphs(t *testing.T) {
+	for _, g := range []*graph.Graph{gen.Path(2), gen.Cycle(3), gen.Star(5), gen.Complete(4)} {
+		res := buildOn(t, g, Default(1, 1), 7)
+		verify(t, g, res)
+	}
+}
+
+func TestBuildSingleNodeAndEmpty(t *testing.T) {
+	res := buildOn(t, graph.New(1), Default(1, 2), 1)
+	if len(res.S) != 0 {
+		t.Fatal("single node produced edges")
+	}
+	res = buildOn(t, graph.New(0), Default(1, 2), 1)
+	if len(res.S) != 0 {
+		t.Fatal("empty graph produced edges")
+	}
+}
+
+func TestBuildGNPAllKs(t *testing.T) {
+	g := gen.ConnectedGNP(400, 0.08, xrand.New(3))
+	for k := 1; k <= 3; k++ {
+		for _, h := range []int{1, 3} {
+			res := buildOn(t, g, Default(k, h), uint64(10*k+h))
+			rep := verify(t, g, res)
+			if rep.MaxEdgeStretch > res.StretchBound() {
+				t.Fatalf("k=%d h=%d stretch %d > bound %d", k, h, rep.MaxEdgeStretch, res.StretchBound())
+			}
+			if len(res.Levels) != k+1 {
+				t.Fatalf("k=%d: %d levels", k, len(res.Levels))
+			}
+		}
+	}
+}
+
+func TestBuildStructuredGraphs(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"grid":      gen.Grid(12, 12),
+		"torus":     gen.Torus(8, 8),
+		"hypercube": gen.Hypercube(7),
+		"barbell":   gen.Barbell(20, 6),
+		"complete":  gen.Complete(60),
+		"pa":        gen.PreferentialAttachment(300, 3, xrand.New(9)),
+	}
+	for name, g := range graphs {
+		res := buildOn(t, g, Default(2, 2), 11)
+		rep := verify(t, g, res)
+		if rep.Edges > g.NumEdges() {
+			t.Fatalf("%s: spanner larger than graph", name)
+		}
+	}
+}
+
+func TestSpannerSparsifiesDenseGraph(t *testing.T) {
+	// On a complete graph the spanner must be much smaller than m.
+	g := gen.Complete(400) // m = 79800
+	res := buildOn(t, g, Default(2, 2), 5)
+	verify(t, g, res)
+	if len(res.S)*4 > g.NumEdges() {
+		t.Fatalf("spanner has %d of %d edges; expected strong sparsification", len(res.S), g.NumEdges())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := gen.ConnectedGNP(200, 0.05, xrand.New(1))
+	a := buildOn(t, g, Default(2, 3), 42)
+	b := buildOn(t, g, Default(2, 3), 42)
+	if len(a.S) != len(b.S) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.S), len(b.S))
+	}
+	for e := range a.S {
+		if !b.S[e] {
+			t.Fatal("edge sets differ for identical seeds")
+		}
+	}
+	c := buildOn(t, g, Default(2, 3), 43)
+	diff := 0
+	for e := range a.S {
+		if !c.S[e] {
+			diff++
+		}
+	}
+	if diff == 0 && len(a.S) == len(c.S) {
+		t.Log("warning: different seeds produced identical spanners (possible but unlikely)")
+	}
+}
+
+func TestHierarchyPopulationShrinks(t *testing.T) {
+	g := gen.ConnectedGNP(1000, 0.05, xrand.New(2))
+	res := buildOn(t, g, Default(2, 2), 3)
+	for j := 1; j < len(res.Levels); j++ {
+		if res.Levels[j].G.NumNodes() >= res.Levels[j-1].G.NumNodes() {
+			t.Fatalf("level %d did not shrink: %d -> %d", j,
+				res.Levels[j-1].G.NumNodes(), res.Levels[j].G.NumNodes())
+		}
+	}
+}
+
+func TestLemma4Concentration(t *testing.T) {
+	// n_j should stay within [n·p̂_{j-1}/2, 3n·p̂_{j-1}/2] whp. We allow a
+	// slightly wider factor-2 margin since our n is modest.
+	g := gen.ConnectedGNP(3000, 0.02, xrand.New(4))
+	p := Default(2, 2)
+	res := buildOn(t, g, p, 9)
+	n := float64(g.NumNodes())
+	for j := 1; j < len(res.Levels); j++ {
+		phat := 1.0
+		for i := 0; i < j; i++ {
+			phat *= p.centerProb(i, g.NumNodes())
+		}
+		nj := float64(res.Levels[j].G.NumNodes())
+		lo, hi := n*phat/4, n*phat*3
+		if nj < lo || nj > hi {
+			t.Fatalf("level %d population %v outside [%v, %v] (Lemma 4 band x2)", j, nj, lo, hi)
+		}
+	}
+}
+
+func TestLightHeavyDichotomy(t *testing.T) {
+	g := gen.ConnectedGNP(500, 0.1, xrand.New(5))
+	res := buildOn(t, g, Default(2, 3), 6)
+	for _, lvl := range res.Levels {
+		for v := range lvl.Light {
+			if lvl.Light[v] && lvl.Heavy[v] {
+				t.Fatalf("level %d node %d both light and heavy", lvl.J, v)
+			}
+		}
+	}
+	// Final level: all light (guaranteed by fail-safe, Lemma 6 whp).
+	last := res.Levels[len(res.Levels)-1]
+	for v, light := range last.Light {
+		if !light {
+			t.Fatalf("final-level node %d not light", v)
+		}
+	}
+}
+
+func TestNoFailSafeStillValidSubsetProperty(t *testing.T) {
+	// Without the fail-safe the stretch bound holds only whp; the spanner
+	// must still be a subgraph and the hierarchy must still be disjoint.
+	g := gen.ConnectedGNP(300, 0.06, xrand.New(8))
+	p := Default(2, 2)
+	p.FailSafe = false
+	res := buildOn(t, g, p, 2)
+	for e := range res.S {
+		if !g.HasEdgeID(e) {
+			t.Fatal("spanner edge outside graph")
+		}
+	}
+	for _, lvl := range res.Levels {
+		seen := map[graph.NodeID]bool{}
+		for _, ms := range lvl.OrigMembers {
+			for _, m := range ms {
+				if seen[m] {
+					t.Fatal("clusters overlap")
+				}
+				seen[m] = true
+			}
+		}
+	}
+}
+
+func TestMultigraphInputHandled(t *testing.T) {
+	// Sampler's key idea is handling multiplicities; feed it a multigraph
+	// directly (as would arise mid-hierarchy).
+	base := gen.Cycle(30)
+	g := gen.Multi(base, func(e graph.Edge) int { return 1 + int(e.ID%5)*10 })
+	res := buildOn(t, g, Default(1, 2), 13)
+	verify(t, g, res)
+	// Spanner should not collect parallel duplicates beyond one per queried
+	// neighbor pair... duplicates are possible across levels but the count
+	// must stay near the simple edge count, far below the multigraph size.
+	if len(res.S) > 3*base.NumEdges() {
+		t.Fatalf("spanner kept %d of %d multigraph edges", len(res.S), g.NumEdges())
+	}
+}
+
+func TestPeelingLimitsSamplesOnSkewedMultiplicities(t *testing.T) {
+	// One neighbor owns 99% of the edges. Peeling should still discover the
+	// other neighbors quickly; without peeling the skewed neighbor would
+	// swallow nearly every sample (the ablation experiment quantifies this).
+	g := graph.New(12)
+	hub := graph.NodeID(0)
+	for i := 0; i < 1000; i++ {
+		g.AddEdge(hub, 1) // massive multiplicity toward node 1
+	}
+	for v := graph.NodeID(2); v < 12; v++ {
+		g.AddEdge(hub, v)
+	}
+	res := buildOn(t, g, Default(1, 4), 3)
+	verify(t, g, res)
+	// Node 0 must have discovered all 11 distinct neighbors (it is light at
+	// some level or the fail-safe fired; either way F covers them).
+	found := map[graph.NodeID]bool{}
+	for e := range res.S {
+		ge, _ := g.EdgeByID(e)
+		if ge.U == hub || ge.V == hub {
+			found[ge.Other(hub)] = true
+		}
+	}
+	if len(found) != 11 {
+		t.Fatalf("hub discovered %d of 11 neighbors", len(found))
+	}
+}
+
+func TestTraceRenders(t *testing.T) {
+	g := gen.Grid(4, 4)
+	res := buildOn(t, g, Default(1, 1), 1)
+	s := res.Trace()
+	if len(s) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+// Property test: for random connected graphs and parameter draws, the
+// spanner is always valid with bounded stretch (fail-safe on).
+func TestSpannerAlwaysValidProperty(t *testing.T) {
+	check := func(seed uint64, nRaw, kRaw, hRaw uint8) bool {
+		n := int(nRaw%60) + 5
+		k := int(kRaw%3) + 1
+		h := int(hRaw%3) + 1
+		rng := xrand.New(seed)
+		g := gen.Connectify(gen.GNP(n, 0.15, rng), rng)
+		res, err := Build(g, Default(k, h), seed^0xABCD)
+		if err != nil {
+			return false
+		}
+		if err := res.ValidateHierarchy(g); err != nil {
+			t.Logf("hierarchy: %v", err)
+			return false
+		}
+		_, _, err = graph.VerifySpanner(g, res.S, res.StretchBound())
+		if err != nil {
+			t.Logf("spanner: %v", err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildK2(b *testing.B) {
+	g := gen.ConnectedGNP(2000, 0.05, xrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, Default(2, 3), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package globalcompute implements the extension sketched in the paper's
+// concluding remarks (Section 7): with an o(m)-message spanner construction
+// that does not increase the round complexity, *global* functions — values
+// that depend on every node's input, such as a minimum, sum, or count — can
+// be computed in O(diameter) rounds with o(m) messages:
+//
+//  1. build a spanner H of stretch α with algorithm Sampler (o(m) messages,
+//     O(1) rounds);
+//  2. elect the node with minimum ID as root and build a BFS tree of H by
+//     flooding on H only — O(α·D) rounds, O(α·D·|S|) = o(m) messages;
+//  3. convergecast the aggregate up the tree and broadcast the result down
+//     — O(α·D) rounds, O(n) messages.
+//
+// The direct baseline floods the whole graph, paying Θ(D·m) messages.
+package globalcompute
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+// Aggregator combines node inputs. It must be commutative and associative
+// (the tree imposes an arbitrary combination order).
+type Aggregator func(a, b int64) int64
+
+// Sum aggregates by addition.
+func Sum(a, b int64) int64 { return a + b }
+
+// Min aggregates by minimum.
+func Min(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max aggregates by maximum.
+func Max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Result is the outcome of a global computation.
+type Result struct {
+	// Values holds each node's learned aggregate (all equal on success).
+	Values []int64
+	// Run carries the aggregation protocol's cost (excluding spanner
+	// construction, reported separately).
+	Run local.Result
+	// SpannerRun carries the spanner construction cost (zero when running
+	// on the raw graph).
+	SpannerRun local.Result
+	// HostEdges is the edge count of the graph the protocol actually ran on.
+	HostEdges int
+}
+
+// TotalMessages is the full pipeline's message bill.
+func (r *Result) TotalMessages() int64 { return r.Run.Messages + r.SpannerRun.Messages }
+
+// TotalRounds is the full pipeline's round bill.
+func (r *Result) TotalRounds() int { return r.Run.Rounds + r.SpannerRun.Rounds }
+
+// phases of the aggregation protocol; all nodes share the schedule bounds
+// but progress is event-driven (BFS wave, then convergecast, then final
+// broadcast), so the protocol is correct for any diameter and halts itself.
+type gcMsg struct {
+	Kind  gcKind
+	Root  graph.NodeID
+	Dist  int
+	Value int64
+}
+
+type gcKind int
+
+const (
+	gcWave   gcKind = iota + 1 // BFS wave carrying the root identity
+	gcParent                   // child -> parent tree registration
+	gcAgg                      // aggregate moving up
+	gcDone                     // result flooding down
+)
+
+// gcNode runs leader election by min-ID wave + BFS-tree aggregation.
+//
+// Wave phase: every node starts a wave for itself; waves carry (root, dist)
+// and a node adopts the smallest root it has heard, re-flooding on
+// improvement. After waveRounds rounds the true minimum has won everywhere
+// (waveRounds must be at least the host diameter; we use an upper bound).
+// Tree phase: each node's parent is the edge its winning wave arrived on;
+// children register, then leaves start the convergecast. Done phase: the
+// root floods the final value down the tree.
+type gcNode struct {
+	input      int64
+	agg        Aggregator
+	waveRounds int
+
+	root     graph.NodeID
+	dist     int
+	parent   graph.EdgeID
+	hasPar   bool
+	children map[graph.EdgeID]bool
+	pending  map[graph.EdgeID]bool // children that have not reported yet
+	acc      int64
+	sentUp   bool
+	value    int64
+	haveVal  bool
+}
+
+func (p *gcNode) Step(env *local.Env, round int, inbox []local.Message) {
+	if round == 0 {
+		p.root = env.ID()
+		p.dist = 0
+		p.acc = p.input
+		p.children = make(map[graph.EdgeID]bool)
+		p.flood(env, gcMsg{Kind: gcWave, Root: p.root, Dist: 0}, noEdge)
+		return
+	}
+	improved := false
+	var from graph.EdgeID
+	var fromDist int
+	for _, m := range inbox {
+		msg := m.Payload.(gcMsg)
+		switch msg.Kind {
+		case gcWave:
+			if msg.Root < p.root {
+				p.root, p.dist = msg.Root, msg.Dist+1
+				improved, from, fromDist = true, m.Edge, msg.Dist
+			}
+		case gcParent:
+			p.children[m.Edge] = true
+			if p.pending != nil {
+				p.pending[m.Edge] = true
+			}
+		case gcAgg:
+			p.acc = p.agg(p.acc, msg.Value)
+			delete(p.pending, m.Edge)
+		case gcDone:
+			if !p.haveVal {
+				p.haveVal = true
+				p.value = msg.Value
+				for e := range p.children {
+					env.Send(e, gcMsg{Kind: gcDone, Value: p.value})
+				}
+				env.Halt()
+				return
+			}
+		}
+	}
+	if improved {
+		p.hasPar = true
+		p.parent = from
+		p.children = make(map[graph.EdgeID]bool) // stale subtree forgotten
+		p.flood(env, gcMsg{Kind: gcWave, Root: p.root, Dist: fromDist + 1}, from)
+	}
+	// Wave settling deadline: register with the final parent, then start
+	// the convergecast once every registered child has reported.
+	if round == p.waveRounds {
+		p.pending = make(map[graph.EdgeID]bool, len(p.children))
+		for e := range p.children {
+			p.pending[e] = true
+		}
+		if p.hasPar {
+			env.Send(p.parent, gcMsg{Kind: gcParent})
+		}
+	}
+	if round > p.waveRounds && p.pending != nil && len(p.pending) == 0 && !p.sentUp {
+		p.sentUp = true
+		if p.hasPar {
+			env.Send(p.parent, gcMsg{Kind: gcAgg, Value: p.acc})
+		} else {
+			// Root: the aggregate is complete; flood the result.
+			p.haveVal = true
+			p.value = p.acc
+			for e := range p.children {
+				env.Send(e, gcMsg{Kind: gcDone, Value: p.value})
+			}
+			env.Halt()
+		}
+	}
+}
+
+// noEdge marks "no arrival edge" for the initial wave.
+const noEdge = graph.EdgeID(-1)
+
+func (p *gcNode) flood(env *local.Env, msg gcMsg, except graph.EdgeID) {
+	for _, pt := range env.Ports() {
+		if pt.Edge != except {
+			env.Send(pt.Edge, msg)
+		}
+	}
+}
+
+// run executes the aggregation protocol on host. waveRounds must be an
+// upper bound on host's diameter.
+func run(host *graph.Graph, inputs []int64, agg Aggregator, waveRounds int, cfg local.Config) ([]int64, local.Result, error) {
+	nodes := make([]*gcNode, host.NumNodes())
+	cfg.MaxRounds = waveRounds*3 + host.NumNodes() + 16
+	res, err := local.Run(host, func(v graph.NodeID) local.Protocol {
+		nodes[v] = &gcNode{input: inputs[v], agg: agg, waveRounds: waveRounds}
+		return nodes[v]
+	}, cfg)
+	if err != nil {
+		return nil, res, err
+	}
+	if !res.Halted {
+		return nil, res, fmt.Errorf("globalcompute: aggregation did not converge")
+	}
+	out := make([]int64, len(nodes))
+	for v, nd := range nodes {
+		if !nd.haveVal {
+			return nil, res, fmt.Errorf("globalcompute: node %d finished without a value", v)
+		}
+		out[v] = nd.value
+	}
+	return out, res, nil
+}
+
+// Direct computes the aggregate by running the protocol on the raw graph:
+// the Θ(D·m)-message baseline.
+func Direct(g *graph.Graph, inputs []int64, agg Aggregator, diamBound int, cfg local.Config) (*Result, error) {
+	if len(inputs) != g.NumNodes() {
+		return nil, fmt.Errorf("globalcompute: %d inputs for %d nodes", len(inputs), g.NumNodes())
+	}
+	vals, runRes, err := run(g, inputs, agg, diamBound, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Values: vals, Run: runRes, HostEdges: g.NumEdges()}, nil
+}
+
+// OverSpanner computes the aggregate over a Sampler spanner: the paper's
+// Section 7 pipeline. diamBound must upper-bound the diameter of g; the
+// spanner's wave deadline is stretched by the certified stretch factor.
+func OverSpanner(g *graph.Graph, inputs []int64, agg Aggregator, diamBound int, p core.Params, seed uint64, cfg local.Config) (*Result, error) {
+	if len(inputs) != g.NumNodes() {
+		return nil, fmt.Errorf("globalcompute: %d inputs for %d nodes", len(inputs), g.NumNodes())
+	}
+	sp, err := core.BuildDistributed(g, p, seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	h, err := g.SubgraphByEdges(sp.S)
+	if err != nil {
+		return nil, err
+	}
+	vals, runRes, err := run(h, inputs, agg, diamBound*sp.StretchBound(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Values: vals, Run: runRes, SpannerRun: sp.Run, HostEdges: h.NumEdges()}, nil
+}

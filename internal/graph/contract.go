@@ -1,0 +1,49 @@
+package graph
+
+import "fmt"
+
+// Dropped marks a node that belongs to no cluster in a contraction
+// assignment. In the paper's terms such a node is "unclustered" and does not
+// appear in the next-level graph G_{j+1}.
+const Dropped = -1
+
+// Contract builds the cluster graph G(C) of the paper's Section 2: nodes of
+// the result are the clusters, and every edge of g whose endpoints lie in two
+// different clusters survives with its original edge ID (so the result is in
+// general a multigraph even when g is simple). Edges with at least one
+// endpoint in a dropped node, and intra-cluster edges, disappear.
+//
+// assign maps each node of g to a cluster index in [0, numClusters), or
+// Dropped. Cluster indices must be dense: every value in [0, numClusters)
+// must be used by at least one node.
+func Contract(g *Graph, assign []int, numClusters int) (*Graph, error) {
+	if len(assign) != g.NumNodes() {
+		return nil, fmt.Errorf("graph: assignment covers %d of %d nodes", len(assign), g.NumNodes())
+	}
+	used := make([]bool, numClusters)
+	for v, c := range assign {
+		if c == Dropped {
+			continue
+		}
+		if c < 0 || c >= numClusters {
+			return nil, fmt.Errorf("graph: node %d assigned to cluster %d outside [0,%d)", v, c, numClusters)
+		}
+		used[c] = true
+	}
+	for c, ok := range used {
+		if !ok {
+			return nil, fmt.Errorf("graph: cluster %d is empty", c)
+		}
+	}
+	out := New(numClusters)
+	for _, e := range g.Edges() {
+		cu, cv := assign[e.U], assign[e.V]
+		if cu == Dropped || cv == Dropped || cu == cv {
+			continue
+		}
+		if err := out.AddEdgeWithID(e.ID, NodeID(cu), NodeID(cv)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

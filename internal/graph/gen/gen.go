@@ -1,0 +1,336 @@
+// Package gen builds the graph families used as experiment workloads.
+//
+// Every generator is deterministic given its *xrand.RNG argument, so
+// experiments and tests are reproducible. Generators that can produce
+// disconnected graphs offer a Connected variant that patches components
+// together with the minimum number of extra edges; the paper assumes a
+// connected communication graph throughout.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	return g
+}
+
+// Cycle returns the n-cycle (n >= 3).
+func Cycle(n int) *graph.Graph {
+	g := graph.New(n)
+	if n < 2 {
+		return g
+	}
+	for v := 0; v < n; v++ {
+		g.AddEdge(graph.NodeID(v), graph.NodeID((v+1)%n))
+	}
+	return g
+}
+
+// Path returns the path on n nodes.
+func Path(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(graph.NodeID(v), graph.NodeID(v+1))
+	}
+	return g
+}
+
+// Star returns the star with one hub (node 0) and n-1 leaves.
+func Star(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, graph.NodeID(v))
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows x cols torus (grid with wraparound); rows and cols
+// must be at least 3 to avoid parallel edges.
+func Torus(rows, cols int) *graph.Graph {
+	if rows < 3 || cols < 3 {
+		panic("gen: torus needs rows, cols >= 3")
+	}
+	g := graph.New(rows * cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddEdge(id(r, c), id(r, (c+1)%cols))
+			g.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes.
+func Hypercube(d int) *graph.Graph {
+	n := 1 << d
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << b)
+			if u > v {
+				g.AddEdge(graph.NodeID(v), graph.NodeID(u))
+			}
+		}
+	}
+	return g
+}
+
+// GNP returns an Erdős–Rényi G(n, p) graph.
+func GNP(n int, p float64, rng *xrand.RNG) *graph.Graph {
+	g := graph.New(n)
+	if p <= 0 {
+		return g
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	// Geometric skipping (Batagelj–Brandes) for o(n^2) expected work on
+	// sparse inputs.
+	lnq := math.Log(1 - p)
+	v, w := 1, -1
+	for v < n {
+		r := rng.Float64()
+		w += 1 + int(math.Log(1-r)/lnq)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			g.AddEdge(graph.NodeID(v), graph.NodeID(w))
+		}
+	}
+	return g
+}
+
+// GNM returns a uniform graph with n nodes and exactly m distinct edges
+// (no parallel edges). It panics if m exceeds n(n-1)/2.
+func GNM(n, m int, rng *xrand.RNG) *graph.Graph {
+	max := n * (n - 1) / 2
+	if m > max {
+		panic(fmt.Sprintf("gen: GNM(%d,%d) exceeds %d possible edges", n, m, max))
+	}
+	g := graph.New(n)
+	type pair struct{ a, b graph.NodeID }
+	seen := make(map[pair]bool, m)
+	for g.NumEdges() < m {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[pair{u, v}] {
+			continue
+		}
+		seen[pair{u, v}] = true
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random recursive tree on n nodes: node v>0
+// attaches to a uniform node in [0, v).
+func RandomTree(n int, rng *xrand.RNG) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(graph.NodeID(v), graph.NodeID(rng.Intn(v)))
+	}
+	return g
+}
+
+// RandomRegular returns a d-regular graph on n nodes via the pairing model,
+// retrying until the pairing is simple. n*d must be even and d < n.
+func RandomRegular(n, d int, rng *xrand.RNG) *graph.Graph {
+	if n*d%2 != 0 || d >= n || d < 0 {
+		panic(fmt.Sprintf("gen: invalid RandomRegular(%d,%d)", n, d))
+	}
+	for attempt := 0; ; attempt++ {
+		if g, ok := tryPairing(n, d, rng); ok {
+			return g
+		}
+		if attempt > 1000 {
+			panic("gen: RandomRegular failed to produce a simple pairing")
+		}
+	}
+}
+
+func tryPairing(n, d int, rng *xrand.RNG) (*graph.Graph, bool) {
+	stubs := make([]graph.NodeID, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, graph.NodeID(v))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	type pair struct{ a, b graph.NodeID }
+	seen := make(map[pair]bool, n*d/2)
+	g := graph.New(n)
+	for i := 0; i < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v {
+			return nil, false
+		}
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		if seen[pair{a, b}] {
+			return nil, false
+		}
+		seen[pair{a, b}] = true
+		g.AddEdge(u, v)
+	}
+	return g, true
+}
+
+// Barbell returns two cliques of size cliqueN joined by a path of pathLen
+// intermediate nodes. This is the canonical low-conductance graph on which
+// gossip-based schemes suffer.
+func Barbell(cliqueN, pathLen int) *graph.Graph {
+	n := 2*cliqueN + pathLen
+	g := graph.New(n)
+	addClique := func(base int) {
+		for u := 0; u < cliqueN; u++ {
+			for v := u + 1; v < cliqueN; v++ {
+				g.AddEdge(graph.NodeID(base+u), graph.NodeID(base+v))
+			}
+		}
+	}
+	addClique(0)
+	addClique(cliqueN + pathLen)
+	prev := graph.NodeID(cliqueN - 1) // a node of the left clique
+	for i := 0; i < pathLen; i++ {
+		next := graph.NodeID(cliqueN + i)
+		g.AddEdge(prev, next)
+		prev = next
+	}
+	g.AddEdge(prev, graph.NodeID(cliqueN+pathLen)) // into the right clique
+	return g
+}
+
+// Community returns a planted-partition graph: blocks of size blockSize with
+// intra-block edge probability pIn and inter-block probability pOut.
+func Community(blocks, blockSize int, pIn, pOut float64, rng *xrand.RNG) *graph.Graph {
+	n := blocks * blockSize
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if u/blockSize == v/blockSize {
+				p = pIn
+			}
+			if rng.Bernoulli(p) {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	return g
+}
+
+// PreferentialAttachment returns a Barabási–Albert graph: starting from a
+// star on m+1 nodes, each new node attaches to m distinct existing nodes
+// chosen proportionally to degree.
+func PreferentialAttachment(n, m int, rng *xrand.RNG) *graph.Graph {
+	if m < 1 || n < m+1 {
+		panic(fmt.Sprintf("gen: invalid PreferentialAttachment(%d,%d)", n, m))
+	}
+	g := graph.New(n)
+	// Repeated-endpoints list: picking a uniform element is degree-biased.
+	var ends []graph.NodeID
+	for v := 1; v <= m; v++ {
+		g.AddEdge(0, graph.NodeID(v))
+		ends = append(ends, 0, graph.NodeID(v))
+	}
+	for v := m + 1; v < n; v++ {
+		targets := make(map[graph.NodeID]bool, m)
+		for len(targets) < m {
+			targets[ends[rng.Intn(len(ends))]] = true
+		}
+		for u := range targets {
+			g.AddEdge(graph.NodeID(v), u)
+			ends = append(ends, graph.NodeID(v), u)
+		}
+	}
+	return g
+}
+
+// ConnectedGNP returns G(n, p) patched to be connected: one extra edge joins
+// a random representative of each non-first component to a random node of
+// the first component's BFS tree frontier. The patch adds at most
+// (#components − 1) edges.
+func ConnectedGNP(n int, p float64, rng *xrand.RNG) *graph.Graph {
+	g := GNP(n, p, rng)
+	return Connectify(g, rng)
+}
+
+// Connectify adds the minimum number of random edges to make g connected and
+// returns g (mutated in place).
+func Connectify(g *graph.Graph, rng *xrand.RNG) *graph.Graph {
+	label, k := g.Components()
+	if k <= 1 {
+		return g
+	}
+	// Pick one random representative per component, then chain them.
+	reps := make([]graph.NodeID, k)
+	counts := make([]int, k)
+	for v, c := range label {
+		counts[c]++
+		// Reservoir sampling: replace the representative with prob 1/count.
+		if rng.Intn(counts[c]) == 0 {
+			reps[c] = graph.NodeID(v)
+		}
+	}
+	for i := 1; i < k; i++ {
+		g.AddEdge(reps[i-1], reps[i])
+	}
+	return g
+}
+
+// Multi returns a multigraph: base graph g with every edge duplicated so that
+// edge (u,v) appears with multiplicity mult(u,v). Used by the peeling
+// ablation, which needs controlled edge multiplicities.
+func Multi(g *graph.Graph, mult func(e graph.Edge) int) *graph.Graph {
+	out := graph.New(g.NumNodes())
+	for _, e := range g.Edges() {
+		m := mult(e)
+		if m < 1 {
+			m = 1
+		}
+		for i := 0; i < m; i++ {
+			out.AddEdge(e.U, e.V)
+		}
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+// Package graph implements the undirected multigraphs on which every other
+// component of this repository operates.
+//
+// Two modelling choices mirror the paper exactly:
+//
+//   - Every edge carries a unique EdgeID known to both endpoints. This is the
+//     paper's model assumption (strictly between KT0 and KT1) and the device
+//     that lets a node recognize parallel edges leading to the same cluster.
+//   - Graphs may contain parallel edges. The input communication graph is
+//     simple, but the virtual graphs G_1, ..., G_k produced by cluster
+//     contraction are genuinely multigraphs, and edge IDs persist across
+//     contraction: an edge of G_j is an original edge of G_0 whose endpoints
+//     fell into different clusters.
+//
+// Self-loops are rejected: an intra-cluster edge simply disappears from the
+// contracted graph, which is how the paper defines the cluster graph.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. Nodes of a graph with n nodes are 0..n-1.
+type NodeID int32
+
+// EdgeID uniquely identifies an edge. IDs are arbitrary (not necessarily
+// dense); both endpoints of an edge know its ID.
+type EdgeID int64
+
+// Half is one endpoint's view of an incident edge: the edge's unique ID and
+// the node at the other end. In the KT0-with-edge-IDs model an algorithm may
+// use Edge but must not look at Peer; the simulator enforces this by not
+// exposing Peer to protocol code unless KT1 is enabled.
+type Half struct {
+	Edge EdgeID
+	Peer NodeID
+}
+
+// Edge is an undirected edge with its unique ID.
+type Edge struct {
+	ID   EdgeID
+	U, V NodeID
+}
+
+// Other returns the endpoint of e different from v. It panics if v is not an
+// endpoint, which always indicates a bug in the caller.
+func (e Edge) Other(v NodeID) NodeID {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d=(%d,%d)", v, e.ID, e.U, e.V))
+}
+
+// Graph is an undirected multigraph. The zero value is an empty graph with no
+// nodes; use New to create a graph with a fixed node count.
+type Graph struct {
+	n      int
+	edges  []Edge
+	byID   map[EdgeID]int // edge ID -> index into edges
+	adj    [][]Half
+	nextID EdgeID // smallest never-auto-assigned ID
+}
+
+// New returns an empty graph on n nodes (0..n-1) and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{
+		n:    n,
+		byID: make(map[EdgeID]int),
+		adj:  make([][]Half, n),
+	}
+}
+
+// ErrDuplicateEdgeID reports an attempt to reuse an edge ID.
+var ErrDuplicateEdgeID = errors.New("graph: duplicate edge ID")
+
+// ErrSelfLoop reports an attempt to add a self-loop.
+var ErrSelfLoop = errors.New("graph: self-loop")
+
+// ErrNoSuchNode reports an out-of-range node.
+var ErrNoSuchNode = errors.New("graph: node out of range")
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of edges, counting parallel edges separately.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge adds an undirected edge between u and v with a fresh unique ID and
+// returns that ID. Parallel edges are allowed; self-loops are not.
+func (g *Graph) AddEdge(u, v NodeID) EdgeID {
+	id := g.nextID
+	for {
+		if _, used := g.byID[id]; !used {
+			break
+		}
+		id++
+	}
+	if err := g.AddEdgeWithID(id, u, v); err != nil {
+		// Only self-loop or bad node can fail here; surface as panic since
+		// AddEdge has no error return by design (generators guarantee inputs).
+		panic(err)
+	}
+	return id
+}
+
+// AddEdgeWithID adds an undirected edge between u and v using the caller's
+// edge ID. It fails if the ID is already in use, if u == v, or if either
+// endpoint is out of range. This is the constructor used when building the
+// contracted graphs G_j, whose edges keep their original IDs.
+func (g *Graph) AddEdgeWithID(id EdgeID, u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("%w: (%d,%d)", ErrSelfLoop, u, v)
+	}
+	if int(u) < 0 || int(u) >= g.n || int(v) < 0 || int(v) >= g.n {
+		return fmt.Errorf("%w: (%d,%d) in graph of %d nodes", ErrNoSuchNode, u, v, g.n)
+	}
+	if _, used := g.byID[id]; used {
+		return fmt.Errorf("%w: %d", ErrDuplicateEdgeID, id)
+	}
+	g.byID[id] = len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, U: u, V: v})
+	g.adj[u] = append(g.adj[u], Half{Edge: id, Peer: v})
+	g.adj[v] = append(g.adj[v], Half{Edge: id, Peer: u})
+	if id >= g.nextID {
+		g.nextID = id + 1
+	}
+	return nil
+}
+
+// Degree returns the number of edge endpoints at v (parallel edges counted
+// with multiplicity).
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// Incident returns v's incident half-edges. The returned slice is owned by
+// the graph and must not be modified; callers that need to retain or mutate
+// it must copy. This is a deliberate exception to copy-at-boundaries: the
+// simulator iterates incident lists in its innermost loop.
+func (g *Graph) Incident(v NodeID) []Half { return g.adj[v] }
+
+// Edges returns all edges. The returned slice is owned by the graph and must
+// not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// EdgeByID returns the edge with the given ID.
+func (g *Graph) EdgeByID(id EdgeID) (Edge, bool) {
+	i, ok := g.byID[id]
+	if !ok {
+		return Edge{}, false
+	}
+	return g.edges[i], true
+}
+
+// HasEdgeID reports whether an edge with the given ID exists.
+func (g *Graph) HasEdgeID(id EdgeID) bool {
+	_, ok := g.byID[id]
+	return ok
+}
+
+// Neighbors returns the distinct neighbors of v in ascending order (parallel
+// edges collapsed). The slice is freshly allocated.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	seen := make(map[NodeID]bool, len(g.adj[v]))
+	out := make([]NodeID, 0, len(g.adj[v]))
+	for _, h := range g.adj[v] {
+		if !seen[h.Peer] {
+			seen[h.Peer] = true
+			out = append(out, h.Peer)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EdgesBetween returns the IDs of all parallel edges between u and v.
+func (g *Graph) EdgesBetween(u, v NodeID) []EdgeID {
+	var out []EdgeID
+	for _, h := range g.adj[u] {
+		if h.Peer == v {
+			out = append(out, h.Edge)
+		}
+	}
+	return out
+}
+
+// MaxDegree returns the maximum degree over all nodes (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for _, e := range g.edges {
+		if err := c.AddEdgeWithID(e.ID, e.U, e.V); err != nil {
+			panic(err) // cannot happen: source graph is consistent
+		}
+	}
+	return c
+}
+
+// SubgraphByEdges returns the spanning subgraph of g containing exactly the
+// edges whose IDs appear in keep (same node set, edge IDs preserved).
+// Unknown IDs in keep are an error: a spanner must be a subset of E.
+func (g *Graph) SubgraphByEdges(keep map[EdgeID]bool) (*Graph, error) {
+	h := New(g.n)
+	for id := range keep {
+		e, ok := g.EdgeByID(id)
+		if !ok {
+			return nil, fmt.Errorf("graph: edge %d not in graph", id)
+		}
+		if err := h.AddEdgeWithID(e.ID, e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// SimpleEdgeCount returns the number of distinct node pairs connected by at
+// least one edge (i.e. |E| of the underlying simple graph).
+func (g *Graph) SimpleEdgeCount() int {
+	type pair struct{ a, b NodeID }
+	seen := make(map[pair]bool, len(g.edges))
+	for _, e := range g.edges {
+		a, b := e.U, e.V
+		if a > b {
+			a, b = b, a
+		}
+		seen[pair{a, b}] = true
+	}
+	return len(seen)
+}
+
+// IsSimple reports whether the graph has no parallel edges.
+func (g *Graph) IsSimple() bool { return g.SimpleEdgeCount() == len(g.edges) }
+
+// Validate checks internal consistency; it is used by tests and costs O(n+m).
+func (g *Graph) Validate() error {
+	if len(g.adj) != g.n {
+		return fmt.Errorf("graph: adjacency size %d != n %d", len(g.adj), g.n)
+	}
+	halves := 0
+	for v := range g.adj {
+		halves += len(g.adj[v])
+		for _, h := range g.adj[v] {
+			e, ok := g.EdgeByID(h.Edge)
+			if !ok {
+				return fmt.Errorf("graph: node %d lists unknown edge %d", v, h.Edge)
+			}
+			if e.Other(NodeID(v)) != h.Peer {
+				return fmt.Errorf("graph: node %d edge %d peer mismatch", v, h.Edge)
+			}
+		}
+	}
+	if halves != 2*len(g.edges) {
+		return fmt.Errorf("graph: %d half-edges for %d edges", halves, len(g.edges))
+	}
+	return nil
+}

@@ -1,0 +1,413 @@
+// Package local implements a fully synchronous message-passing simulator for
+// the LOCAL model of distributed computing (Linial; Peleg), specialized to
+// the model variant used by the paper:
+//
+//   - rounds are fully synchronous: in round r every node receives the
+//     messages sent to it in round r-1, computes, and sends messages;
+//   - message size is unbounded (the simulator counts messages, not bits,
+//     exactly as the paper's message complexity does);
+//   - every edge has a unique identifier known to both endpoints (the
+//     assumption "strictly between KT0 and KT1"); the KT1 variant, in which
+//     a node additionally knows the ID of each neighbor, can be enabled;
+//   - every node knows an O(1)-approximate upper bound on log n, surfaced as
+//     Env.LogN (the approximation factor is configurable so experiments can
+//     check robustness to the bound's slack).
+//
+// Two engines execute the same Protocol code: a sequential engine and a
+// concurrent engine that fans node steps out over a worker pool with a
+// barrier per round. Per-node randomness comes from streams derived from
+// (seed, node ID), and inboxes are sorted canonically, so both engines
+// produce bit-identical executions — a property the test suite checks.
+package local
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Message is a payload in transit over an edge. Code receiving a Message
+// knows the unique ID of the edge it arrived on — this is the model's
+// central assumption — but not, under KT0, who sent it.
+type Message struct {
+	// Edge is the unique ID of the edge the message traveled over.
+	Edge graph.EdgeID
+	// Payload is the message body. The LOCAL model does not bound its size.
+	Payload any
+}
+
+// Protocol is the per-node state machine of a distributed algorithm.
+//
+// Step is invoked once per round. In round 0 the inbox is empty; in round
+// r > 0 it holds the messages sent to this node in round r-1, sorted by
+// (edge ID, send order). A node stops participating by calling Env.Halt;
+// afterwards Step is never invoked again and arriving messages are dropped.
+type Protocol interface {
+	Step(env *Env, round int, inbox []Message)
+}
+
+// ProtocolFunc adapts a function to the Protocol interface for stateless or
+// closure-based algorithms.
+type ProtocolFunc func(env *Env, round int, inbox []Message)
+
+// Step implements Protocol.
+func (f ProtocolFunc) Step(env *Env, round int, inbox []Message) { f(env, round, inbox) }
+
+// Factory builds the protocol instance for one node. It is called once per
+// node before round 0.
+type Factory func(v graph.NodeID) Protocol
+
+// Port is a node's local view of one incident edge.
+type Port struct {
+	// Edge is the globally unique edge ID (always available).
+	Edge graph.EdgeID
+	// Peer is the node at the other end. It is valid only under KT1; under
+	// the default model it is set to -1 and protocol code must not use it.
+	Peer graph.NodeID
+}
+
+// NoPeer is the Peer value of a Port under the KT0-with-edge-IDs model.
+const NoPeer graph.NodeID = -1
+
+// Config configures a run.
+type Config struct {
+	// Seed is the root seed for all node RNG streams.
+	Seed uint64
+	// KT1 exposes neighbor IDs on ports. Default (false) is the paper's
+	// unique-edge-ID model.
+	KT1 bool
+	// MaxRounds aborts runs that fail to halt. Zero means DefaultMaxRounds.
+	MaxRounds int
+	// LogNSlack multiplies the true log2(n) before it is handed to nodes,
+	// modeling the "O(1)-approximate upper bound on log n" assumption.
+	// Zero means 1.0 (exact).
+	LogNSlack float64
+	// Concurrent selects the worker-pool engine; the default is the
+	// sequential engine. Both produce identical executions.
+	Concurrent bool
+	// Workers bounds the worker pool in concurrent mode; zero means
+	// GOMAXPROCS.
+	Workers int
+	// IDMap overrides node identities: node v reports ID IDMap[v] and draws
+	// its randomness from the stream of that identity. It exists for the
+	// ball-replay simulation of the paper's Section 6, which re-executes an
+	// algorithm on a reconstructed subgraph whose nodes must behave exactly
+	// as their originals. nil means the identity mapping.
+	IDMap []graph.NodeID
+	// NOverride, if positive, is the node count reported by Env.N and used
+	// for Env.LogN (again for ball replays, where the subgraph is smaller
+	// than the original network).
+	NOverride int
+}
+
+// DefaultMaxRounds bounds runaway protocols.
+const DefaultMaxRounds = 1 << 20
+
+// Result reports the cost of a run, in the units the paper uses.
+type Result struct {
+	// Rounds is the number of rounds executed (a round with no active nodes
+	// and no messages in flight is not counted).
+	Rounds int
+	// Messages is the total number of messages sent.
+	Messages int64
+	// PayloadUnits is the total abstract size of all payloads sent (see
+	// Sizer). The LOCAL model does not charge for it — message complexity
+	// counts messages — but it quantifies how much the model's unbounded
+	// messages are leaned on (the CONGEST-side view).
+	PayloadUnits int64
+	// PerRound is the number of messages sent in each round.
+	PerRound []int64
+	// Halted reports whether every node halted before MaxRounds.
+	Halted bool
+	// Counters aggregates Env.Count calls from all nodes, keyed by name.
+	// Protocols use it to attribute message traffic to phases (e.g. query
+	// vs. cluster-tree traffic in the distributed Sampler).
+	Counters map[string]int64
+}
+
+// Sizer lets a payload report its abstract size in "units" (think O(log n)-
+// bit words: an edge ID, a node ID, a flag). Payloads that do not implement
+// Sizer count as 1 unit. The runtime sums sizes into Result.PayloadUnits.
+type Sizer interface {
+	PayloadUnits() int64
+}
+
+// payloadUnits measures one payload.
+func payloadUnits(p any) int64 {
+	if s, ok := p.(Sizer); ok {
+		return s.PayloadUnits()
+	}
+	return 1
+}
+
+// Env is a node's handle to the simulator. It is valid only inside Step (and
+// the node's own goroutine in concurrent mode); protocols must not retain it
+// across rounds or share it.
+type Env struct {
+	run    *run
+	idx    graph.NodeID // index in the run's graph
+	id     graph.NodeID // reported identity (equals idx unless IDMap is set)
+	rng    *xrand.RNG
+	ports  []Port
+	out    []outMsg // this round's sends
+	counts map[string]int64
+	halted bool
+}
+
+type outMsg struct {
+	edge graph.EdgeID
+	to   graph.NodeID
+	seq  int32
+	body any
+}
+
+// ID returns this node's unique identifier.
+func (e *Env) ID() graph.NodeID { return e.id }
+
+// N returns the number of nodes. The paper only assumes a poly(n) upper
+// bound on n; protocols that want to honor that weaker assumption should use
+// LogN instead and avoid N.
+func (e *Env) N() int {
+	if e.run.cfg.NOverride > 0 {
+		return e.run.cfg.NOverride
+	}
+	return e.run.g.NumNodes()
+}
+
+// LogN returns the node's (possibly slack) upper bound on log2 n.
+func (e *Env) LogN() float64 { return e.run.logN }
+
+// Degree returns the number of incident edges (with multiplicity).
+func (e *Env) Degree() int { return len(e.ports) }
+
+// Ports returns the node's incident ports. The slice is owned by the
+// simulator and must not be modified.
+func (e *Env) Ports() []Port { return e.ports }
+
+// Rand returns this node's private random stream. It is stable across
+// engines and runs with the same Config.Seed.
+func (e *Env) Rand() *xrand.RNG { return e.rng }
+
+// Send transmits payload over the identified incident edge; it panics if the
+// edge is not incident to this node, which always indicates a protocol bug.
+// Multiple sends on the same edge in one round are delivered in order.
+func (e *Env) Send(edge graph.EdgeID, payload any) {
+	ge, ok := e.run.g.EdgeByID(edge)
+	if !ok || (ge.U != e.idx && ge.V != e.idx) {
+		panic(fmt.Sprintf("local: node %d sent on non-incident edge %d", e.id, edge))
+	}
+	e.out = append(e.out, outMsg{edge: edge, to: ge.Other(e.idx), seq: int32(len(e.out)), body: payload})
+}
+
+// Halt marks the node as terminated. Pending sends from the current Step are
+// still delivered.
+func (e *Env) Halt() { e.halted = true }
+
+// Count adds delta to a named per-run counter (aggregated across nodes into
+// Result.Counters).
+func (e *Env) Count(name string, delta int64) {
+	if e.counts == nil {
+		e.counts = make(map[string]int64)
+	}
+	e.counts[name] += delta
+}
+
+// run is the shared state of one execution.
+type run struct {
+	g    *graph.Graph
+	cfg  Config
+	logN float64
+
+	envs   []*Env
+	protos []Protocol
+	inbox  [][]Message
+}
+
+// Run executes the protocol built by f on g under cfg and returns the cost
+// metrics. It returns an error only for configuration mistakes; protocol
+// panics propagate (a deliberate choice: a protocol bug in a simulation is a
+// programming error, not an operational condition).
+func Run(g *graph.Graph, f Factory, cfg Config) (Result, error) {
+	if g == nil {
+		return Result{}, fmt.Errorf("local: nil graph")
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	if cfg.LogNSlack == 0 {
+		cfg.LogNSlack = 1
+	}
+	if cfg.LogNSlack < 1 {
+		return Result{}, fmt.Errorf("local: LogNSlack %v < 1 is not an upper bound", cfg.LogNSlack)
+	}
+	n := g.NumNodes()
+	if cfg.IDMap != nil && len(cfg.IDMap) != n {
+		return Result{}, fmt.Errorf("local: IDMap covers %d of %d nodes", len(cfg.IDMap), n)
+	}
+	r := &run{g: g, cfg: cfg}
+	effN := n
+	if cfg.NOverride > 0 {
+		effN = cfg.NOverride
+	}
+	r.logN = cfg.LogNSlack * math.Log2(math.Max(2, float64(effN)))
+	root := xrand.New(cfg.Seed)
+	r.envs = make([]*Env, n)
+	r.protos = make([]Protocol, n)
+	r.inbox = make([][]Message, n)
+	for v := 0; v < n; v++ {
+		idx := graph.NodeID(v)
+		id := idx
+		if cfg.IDMap != nil {
+			id = cfg.IDMap[v]
+		}
+		inc := g.Incident(idx)
+		ports := make([]Port, len(inc))
+		for i, h := range inc {
+			peer := NoPeer
+			if cfg.KT1 {
+				peer = h.Peer
+				if cfg.IDMap != nil {
+					peer = cfg.IDMap[h.Peer]
+				}
+			}
+			ports[i] = Port{Edge: h.Edge, Peer: peer}
+		}
+		sort.Slice(ports, func(i, j int) bool { return ports[i].Edge < ports[j].Edge })
+		r.envs[v] = &Env{run: r, idx: idx, id: id, rng: root.Derive(uint64(id)), ports: ports}
+		r.protos[v] = f(id)
+	}
+
+	res := Result{Counters: make(map[string]int64)}
+	for round := 0; round < cfg.MaxRounds; round++ {
+		// A node is active this round if it has not halted and either it is
+		// round 0 or it has messages — no: LOCAL protocols may act every
+		// round until they halt, so every non-halted node steps.
+		active := false
+		for v := 0; v < n; v++ {
+			if !r.envs[v].halted {
+				active = true
+				break
+			}
+		}
+		if !active {
+			break
+		}
+		if cfg.Concurrent {
+			r.stepAllConcurrent(round)
+		} else {
+			r.stepAllSequential(round)
+		}
+		sent, units := r.deliver()
+		res.PerRound = append(res.PerRound, sent)
+		res.Messages += sent
+		res.PayloadUnits += units
+		res.Rounds++
+	}
+	res.Halted = true
+	for v := 0; v < n; v++ {
+		if !r.envs[v].halted {
+			res.Halted = false
+		}
+		for k, c := range r.envs[v].counts {
+			res.Counters[k] += c
+		}
+	}
+	return res, nil
+}
+
+func (r *run) stepOne(v int, round int) {
+	env := r.envs[v]
+	if env.halted {
+		r.inbox[v] = nil
+		return
+	}
+	in := r.inbox[v]
+	r.inbox[v] = nil
+	r.protos[v].Step(env, round, in)
+}
+
+func (r *run) stepAllSequential(round int) {
+	for v := range r.envs {
+		r.stepOne(v, round)
+	}
+}
+
+func (r *run) stepAllConcurrent(round int) {
+	workers := r.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(r.envs)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				r.stepOne(v, round)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// deliver moves this round's sends into next round's inboxes and returns the
+// number of messages sent and their total payload units. Inboxes are sorted
+// by (edge, sender sequence) so both engines expose identical inbox
+// orderings.
+func (r *run) deliver() (int64, int64) {
+	var sent, units int64
+	for v := range r.envs {
+		env := r.envs[v]
+		sent += int64(len(env.out))
+		for _, m := range env.out {
+			units += payloadUnits(m.body)
+			to := int(m.to)
+			if r.envs[to].halted {
+				continue // dropped: receiver terminated
+			}
+			r.inbox[to] = append(r.inbox[to], Message{Edge: m.edge, Payload: payloadWithSeq{m.body, m.edge, m.seq}})
+		}
+		env.out = env.out[:0]
+	}
+	for v := range r.inbox {
+		in := r.inbox[v]
+		sort.SliceStable(in, func(i, j int) bool {
+			a := in[i].Payload.(payloadWithSeq)
+			b := in[j].Payload.(payloadWithSeq)
+			if a.edge != b.edge {
+				return a.edge < b.edge
+			}
+			return a.seq < b.seq
+		})
+		for i := range in {
+			in[i].Payload = in[i].Payload.(payloadWithSeq).body
+		}
+	}
+	return sent, units
+}
+
+// payloadWithSeq temporarily tags payloads with ordering keys during
+// delivery.
+type payloadWithSeq struct {
+	body any
+	edge graph.EdgeID
+	seq  int32
+}

@@ -1,0 +1,471 @@
+package local
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/xrand"
+)
+
+// floodMax is a tiny LOCAL protocol: every node repeatedly broadcasts the
+// largest node ID it has seen; after t rounds each node knows the max ID in
+// its t-ball. It exercises Send, inboxes, halting, and determinism.
+type floodMax struct {
+	t    int
+	best graph.NodeID
+}
+
+func (p *floodMax) Step(env *Env, round int, inbox []Message) {
+	if round == 0 {
+		p.best = env.ID()
+	}
+	for _, m := range inbox {
+		if v := m.Payload.(graph.NodeID); v > p.best {
+			p.best = v
+		}
+	}
+	if round == p.t {
+		env.Halt()
+		return
+	}
+	for _, port := range env.Ports() {
+		env.Send(port.Edge, p.best)
+	}
+	env.Count("floods", int64(env.Degree()))
+}
+
+func runFloodMax(t *testing.T, g *graph.Graph, rounds int, cfg Config) ([]graph.NodeID, Result) {
+	t.Helper()
+	states := make([]*floodMax, g.NumNodes())
+	res, err := Run(g, func(v graph.NodeID) Protocol {
+		states[v] = &floodMax{t: rounds}
+		return states[v]
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]graph.NodeID, len(states))
+	for i, s := range states {
+		out[i] = s.best
+	}
+	return out, res
+}
+
+func TestFloodMaxCorrect(t *testing.T) {
+	g := gen.Cycle(11)
+	const tRounds = 3
+	got, res := runFloodMax(t, g, tRounds, Config{Seed: 1})
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	if res.Rounds != tRounds+1 {
+		t.Fatalf("rounds = %d, want %d", res.Rounds, tRounds+1)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		want := graph.NodeID(0)
+		for _, u := range g.Ball(graph.NodeID(v), tRounds) {
+			if u > want {
+				want = u
+			}
+		}
+		if got[v] != want {
+			t.Fatalf("node %d learned %d, want %d", v, got[v], want)
+		}
+	}
+}
+
+func TestEnginesIdentical(t *testing.T) {
+	g := gen.ConnectedGNP(150, 0.04, xrand.New(5))
+	for _, rounds := range []int{0, 1, 4} {
+		seq, resSeq := runFloodMax(t, g, rounds, Config{Seed: 9})
+		con, resCon := runFloodMax(t, g, rounds, Config{Seed: 9, Concurrent: true, Workers: 8})
+		if !reflect.DeepEqual(seq, con) {
+			t.Fatalf("t=%d: states differ between engines", rounds)
+		}
+		if resSeq.Messages != resCon.Messages || resSeq.Rounds != resCon.Rounds {
+			t.Fatalf("t=%d: metrics differ: %+v vs %+v", rounds, resSeq, resCon)
+		}
+		if !reflect.DeepEqual(resSeq.PerRound, resCon.PerRound) {
+			t.Fatalf("t=%d: per-round traffic differs", rounds)
+		}
+	}
+}
+
+// randomized protocol: each node draws values; engines must agree exactly.
+type randProto struct{ draws []uint64 }
+
+func (p *randProto) Step(env *Env, round int, inbox []Message) {
+	p.draws = append(p.draws, env.Rand().Uint64())
+	if round == 3 {
+		env.Halt()
+	}
+}
+
+func TestRandStreamsEngineIndependent(t *testing.T) {
+	g := gen.Grid(6, 6)
+	run := func(concurrent bool) [][]uint64 {
+		states := make([]*randProto, g.NumNodes())
+		_, err := Run(g, func(v graph.NodeID) Protocol {
+			states[v] = &randProto{}
+			return states[v]
+		}, Config{Seed: 123, Concurrent: concurrent})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]uint64, len(states))
+		for i, s := range states {
+			out[i] = s.draws
+		}
+		return out
+	}
+	if !reflect.DeepEqual(run(false), run(true)) {
+		t.Fatal("randomness differs across engines")
+	}
+}
+
+func TestMessageCounting(t *testing.T) {
+	g := gen.Complete(5) // 10 edges
+	_, res := runFloodMax(t, g, 2, Config{Seed: 1})
+	// Rounds 0,1,2 each send over every half-edge: 3 * 2*10 = 60 messages...
+	// round 2 is the halt round (no sends), so rounds 0 and 1 send: 2*20.
+	if res.Messages != 40 {
+		t.Fatalf("messages = %d, want 40", res.Messages)
+	}
+	if res.Counters["floods"] != 40 {
+		t.Fatalf("counter = %d, want 40", res.Counters["floods"])
+	}
+	if len(res.PerRound) != 3 || res.PerRound[0] != 20 || res.PerRound[2] != 0 {
+		t.Fatalf("per-round = %v", res.PerRound)
+	}
+}
+
+func TestInboxOrderingCanonical(t *testing.T) {
+	// Node 0 is connected to 1 and 2; both send two messages. The inbox must
+	// be sorted by edge ID then send order, regardless of engine.
+	g := graph.New(3)
+	e01 := g.AddEdge(0, 1)
+	e02 := g.AddEdge(0, 2)
+	var got []string
+	proto := func(v graph.NodeID) Protocol {
+		return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+			switch round {
+			case 0:
+				switch env.ID() {
+				case 1:
+					env.Send(e01, "1a")
+					env.Send(e01, "1b")
+				case 2:
+					env.Send(e02, "2a")
+					env.Send(e02, "2b")
+				}
+			case 1:
+				if env.ID() == 0 {
+					for _, m := range inbox {
+						got = append(got, m.Payload.(string))
+					}
+				}
+				env.Halt()
+			}
+		})
+	}
+	if _, err := Run(g, proto, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1a", "1b", "2a", "2b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("inbox order = %v, want %v", got, want)
+	}
+}
+
+func TestHaltedReceiversDropMessages(t *testing.T) {
+	g := graph.New(2)
+	e := g.AddEdge(0, 1)
+	sawAfterHalt := false
+	proto := func(v graph.NodeID) Protocol {
+		return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+			if env.ID() == 1 {
+				if round > 0 && len(inbox) > 0 {
+					sawAfterHalt = true
+				}
+				env.Halt() // halts in round 0
+				return
+			}
+			// node 0 keeps sending
+			env.Send(e, round)
+			if round == 3 {
+				env.Halt()
+			}
+		})
+	}
+	if _, err := Run(g, proto, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if sawAfterHalt {
+		t.Fatal("halted node was stepped with messages")
+	}
+}
+
+func TestMaxRoundsAbort(t *testing.T) {
+	g := gen.Cycle(4)
+	res, err := Run(g, func(graph.NodeID) Protocol {
+		return ProtocolFunc(func(env *Env, round int, inbox []Message) {}) // never halts
+	}, Config{MaxRounds: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Fatal("non-halting protocol reported halted")
+	}
+	if res.Rounds != 17 {
+		t.Fatalf("rounds = %d, want 17", res.Rounds)
+	}
+}
+
+func TestSendNonIncidentPanics(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	e12 := g.AddEdge(1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send on non-incident edge did not panic")
+		}
+	}()
+	_, _ = Run(g, func(v graph.NodeID) Protocol {
+		return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+			if env.ID() == 0 {
+				env.Send(e12, "bad")
+			}
+			env.Halt()
+		})
+	}, Config{})
+}
+
+func TestKT1Ports(t *testing.T) {
+	g := gen.Path(3)
+	check := func(kt1 bool) {
+		_, err := Run(g, func(v graph.NodeID) Protocol {
+			return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+				for _, p := range env.Ports() {
+					if kt1 && p.Peer == NoPeer {
+						t.Error("KT1 port missing peer")
+					}
+					if !kt1 && p.Peer != NoPeer {
+						t.Error("KT0 port leaked peer")
+					}
+				}
+				env.Halt()
+			})
+		}, Config{KT1: kt1})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(false)
+	check(true)
+}
+
+func TestLogNSlack(t *testing.T) {
+	g := gen.Cycle(16) // log2 16 = 4
+	var got float64
+	_, err := Run(g, func(v graph.NodeID) Protocol {
+		return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+			if env.ID() == 0 {
+				got = env.LogN()
+			}
+			env.Halt()
+		})
+	}, Config{LogNSlack: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("LogN = %v, want 10", got)
+	}
+	if _, err := Run(g, func(graph.NodeID) Protocol { return ProtocolFunc(func(*Env, int, []Message) {}) }, Config{LogNSlack: 0.5}); err == nil {
+		t.Fatal("LogNSlack < 1 accepted")
+	}
+}
+
+func TestPortsSortedByEdgeID(t *testing.T) {
+	g := graph.New(4)
+	// insert edges out of order
+	if err := g.AddEdgeWithID(30, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdgeWithID(10, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdgeWithID(20, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(g, func(v graph.NodeID) Protocol {
+		return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+			if env.ID() == 0 {
+				prev := graph.EdgeID(-1)
+				for _, p := range env.Ports() {
+					if p.Edge <= prev {
+						t.Error("ports not sorted")
+					}
+					prev = p.Edge
+				}
+			}
+			env.Halt()
+		})
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilGraphRejected(t *testing.T) {
+	if _, err := Run(nil, func(graph.NodeID) Protocol { return nil }, Config{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestParallelEdgeDelivery(t *testing.T) {
+	// Two parallel edges between 0 and 1: a message per edge must arrive
+	// tagged with the right edge ID.
+	g := graph.New(2)
+	a := g.AddEdge(0, 1)
+	b := g.AddEdge(0, 1)
+	gotEdges := map[graph.EdgeID]bool{}
+	_, err := Run(g, func(v graph.NodeID) Protocol {
+		return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+			switch round {
+			case 0:
+				if env.ID() == 0 {
+					env.Send(a, "via-a")
+					env.Send(b, "via-b")
+				}
+			case 1:
+				if env.ID() == 1 {
+					for _, m := range inbox {
+						gotEdges[m.Edge] = true
+					}
+				}
+				env.Halt()
+			}
+		})
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotEdges[a] || !gotEdges[b] {
+		t.Fatalf("parallel edge tags missing: %v", gotEdges)
+	}
+}
+
+func TestIDMapAndNOverride(t *testing.T) {
+	// A 3-node path posing as nodes {10, 20, 30} of a 100-node network.
+	g := gen.Path(3)
+	idmap := []graph.NodeID{10, 20, 30}
+	var ids []graph.NodeID
+	var ns []int
+	var draws []uint64
+	_, err := Run(g, func(v graph.NodeID) Protocol {
+		return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+			ids = append(ids, env.ID())
+			ns = append(ns, env.N())
+			draws = append(draws, env.Rand().Uint64())
+			env.Halt()
+		})
+	}, Config{Seed: 99, IDMap: idmap, NOverride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if id != idmap[i] {
+			t.Fatalf("node %d reports ID %d", i, id)
+		}
+	}
+	for _, n := range ns {
+		if n != 100 {
+			t.Fatalf("N() = %d, want 100", n)
+		}
+	}
+	// The RNG stream must be that of the mapped identity: compare with a
+	// run on a graph where node 20 is a real index.
+	g2 := gen.Path(30)
+	var draw20 uint64
+	_, err = Run(g2, func(v graph.NodeID) Protocol {
+		return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+			if env.ID() == 20 {
+				draw20 = env.Rand().Uint64()
+			}
+			env.Halt()
+		})
+	}, Config{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if draws[1] != draw20 {
+		t.Fatal("mapped node 20 drew a different stream than the real node 20")
+	}
+}
+
+func TestIDMapLengthChecked(t *testing.T) {
+	g := gen.Path(3)
+	_, err := Run(g, func(graph.NodeID) Protocol {
+		return ProtocolFunc(func(env *Env, round int, inbox []Message) { env.Halt() })
+	}, Config{IDMap: []graph.NodeID{1}})
+	if err == nil {
+		t.Fatal("short IDMap accepted")
+	}
+}
+
+// sized is a payload with an explicit unit size.
+type sized struct{ units int64 }
+
+func (s sized) PayloadUnits() int64 { return s.units }
+
+func TestPayloadUnitsAccounting(t *testing.T) {
+	g := gen.Path(2)
+	e := g.Edges()[0].ID
+	res, err := Run(g, func(v graph.NodeID) Protocol {
+		return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+			if round == 0 && env.ID() == 0 {
+				env.Send(e, sized{units: 10})
+				env.Send(e, "plain") // non-Sizer counts as 1
+			}
+			if round == 1 {
+				env.Halt()
+			}
+		})
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 2 {
+		t.Fatalf("messages = %d", res.Messages)
+	}
+	if res.PayloadUnits != 11 {
+		t.Fatalf("payload units = %d, want 11", res.PayloadUnits)
+	}
+}
+
+func TestPayloadUnitsEngineIndependent(t *testing.T) {
+	g := gen.Grid(5, 5)
+	run := func(concurrent bool) int64 {
+		res, err := Run(g, func(v graph.NodeID) Protocol {
+			return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+				if round < 2 {
+					for _, p := range env.Ports() {
+						env.Send(p.Edge, sized{units: int64(env.ID()) + 1})
+					}
+				} else {
+					env.Halt()
+				}
+			})
+		}, Config{Seed: 3, Concurrent: concurrent})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PayloadUnits
+	}
+	if run(false) != run(true) {
+		t.Fatal("payload units differ across engines")
+	}
+}

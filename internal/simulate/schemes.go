@@ -1,0 +1,214 @@
+package simulate
+
+import (
+	"fmt"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/spanner"
+)
+
+// PhaseCost is one pipeline stage's price.
+type PhaseCost struct {
+	Name     string
+	Rounds   int
+	Messages int64
+}
+
+// SchemeResult is the outcome of a message-reduction scheme: the collection
+// from which any node's output can be replayed, plus full cost accounting.
+type SchemeResult struct {
+	Coll   *Collection
+	Phases []PhaseCost
+	// StretchUsed is the stretch bound of the spanner that carried the
+	// final collection.
+	StretchUsed int
+	// SpannerEdges is that spanner's size.
+	SpannerEdges int
+	// FinalSpanner is the edge set of the spanner that carried the final
+	// collection (Sampler's for Scheme1; the simulated off-the-shelf
+	// construction's for Scheme2).
+	FinalSpanner map[graph.EdgeID]bool
+}
+
+// TotalMessages sums message costs across phases.
+func (r *SchemeResult) TotalMessages() int64 {
+	var t int64
+	for _, p := range r.Phases {
+		t += p.Messages
+	}
+	return t
+}
+
+// TotalRounds sums round costs across phases.
+func (r *SchemeResult) TotalRounds() int {
+	t := 0
+	for _, p := range r.Phases {
+		t += p.Rounds
+	}
+	return t
+}
+
+// Scheme1 implements Theorem 3's first trade-off: build a spanner with the
+// distributed Sampler (parameter γ = p.K), then t-local-broadcast the
+// initial knowledge by flooding the spanner for stretch·t rounds. Round
+// complexity O(3^γ·t + 6^γ); message complexity Õ(t·n^{1+2/(2^{γ+1}−1)})
+// with the paper's parameter coupling h = 2^{γ+1}−1.
+func Scheme1(g *graph.Graph, spec algorithms.Spec, p core.Params, seed uint64, cfg local.Config) (*SchemeResult, error) {
+	sp, err := core.BuildDistributed(g, p, seed, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scheme1 spanner: %w", err)
+	}
+	h, err := g.SubgraphByEdges(sp.S)
+	if err != nil {
+		return nil, err
+	}
+	alpha := sp.StretchBound()
+	coll, err := Collect(g, h, alpha*spec.T, seed, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scheme1 collection: %w", err)
+	}
+	return &SchemeResult{
+		Coll: coll,
+		Phases: []PhaseCost{
+			{Name: "sampler", Rounds: sp.Run.Rounds, Messages: sp.Run.Messages},
+			{Name: "collect", Rounds: coll.Run.Rounds, Messages: coll.Run.Messages},
+		},
+		StretchUsed:  alpha,
+		SpannerEdges: len(sp.S),
+		FinalSpanner: sp.S,
+	}, nil
+}
+
+// Scheme1Params returns the paper's parameter coupling for scheme 1: level
+// count γ and h = 2^{γ+1}−1 so that δ = 1/h and the message exponent
+// becomes 1 + 2/(2^{γ+1}−1).
+func Scheme1Params(gamma int) core.Params {
+	return core.Default(gamma, (1<<(gamma+1))-1)
+}
+
+// Stage2 describes an off-the-shelf distributed spanner construction the
+// two-stage scheme can simulate: a fixed-round-budget LOCAL protocol whose
+// per-node output is its incident spanner edges.
+type Stage2 struct {
+	// Name labels the phase in cost tables.
+	Name string
+	// T is the protocol's fixed round budget.
+	T int
+	// Stretch is the construction's stretch bound.
+	Stretch int
+	// New builds a protocol instance.
+	New func() local.Protocol
+	// Output extracts a node's incident spanner edges.
+	Output func(local.Protocol) map[graph.EdgeID]bool
+}
+
+// BaswanaSenStage2 is the Baswana–Sen construction as a stage-2 target:
+// stretch 2k−1 in O(k²) rounds.
+func BaswanaSenStage2(k int) Stage2 {
+	return Stage2{
+		Name:    "simulate-bs",
+		T:       spanner.BSRounds(k),
+		Stretch: 2*k - 1,
+		New:     func() local.Protocol { return spanner.NewBSNode(k) },
+		Output:  func(p local.Protocol) map[graph.EdgeID]bool { return p.(*spanner.BSNode).InS },
+	}
+}
+
+// ElkinNeimanStage2 is the Elkin–Neiman construction as a stage-2 target:
+// stretch 2k−1 in only k+O(1) rounds — the improvement the paper's
+// concluding remarks anticipate (experiment E15 quantifies it).
+func ElkinNeimanStage2(k int) Stage2 {
+	return Stage2{
+		Name:    "simulate-en",
+		T:       spanner.ENRounds(k),
+		Stretch: 2*k - 1,
+		New:     func() local.Protocol { return spanner.NewENNode(k) },
+		Output:  func(p local.Protocol) map[graph.EdgeID]bool { return p.(*spanner.ENNode).InS },
+	}
+}
+
+// Scheme2 implements Theorem 3's second trade-off with Baswana–Sen as the
+// off-the-shelf construction (the paper uses Derbel et al.; see DESIGN.md
+// §3.2 for the substitution).
+func Scheme2(g *graph.Graph, spec algorithms.Spec, p core.Params, bsK int, seed uint64, cfg local.Config) (*SchemeResult, error) {
+	return Scheme2With(g, spec, p, BaswanaSenStage2(bsK), seed, cfg)
+}
+
+// Scheme2With implements Theorem 3's second trade-off, the two-stage
+// pipeline, with a pluggable off-the-shelf construction:
+//
+//  1. the distributed Sampler builds a stage-1 spanner H with stretch α;
+//  2. H simulates the stage-2 construction: the t₂-ball of every node is
+//     collected over H in α·t₂ rounds and the construction is replayed
+//     locally, yielding each node's incident edges of the better spanner H′
+//     — without sending a single message of the original Ω(m)-message
+//     algorithm;
+//  3. H′ carries the final collection for the target algorithm.
+func Scheme2With(g *graph.Graph, spec algorithms.Spec, p core.Params, st2 Stage2, seed uint64, cfg local.Config) (*SchemeResult, error) {
+	// Stage 1: Sampler spanner.
+	sp, err := core.BuildDistributed(g, p, seed, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scheme2 stage-1 spanner: %w", err)
+	}
+	h1, err := g.SubgraphByEdges(sp.S)
+	if err != nil {
+		return nil, err
+	}
+	alpha1 := sp.StretchBound()
+
+	// Stage 2: simulate the off-the-shelf construction over H1.
+	st2Spec := algorithms.Spec{
+		Name: st2.Name,
+		T:    st2.T,
+		New:  func(graph.NodeID) local.Protocol { return st2.New() },
+		Output: func(pr local.Protocol) any {
+			// A node's output is its incident H' edges (both endpoints of
+			// every H' edge know it, by the protocols' accept messages).
+			return st2.Output(pr)
+		},
+	}
+	coll2, err := Collect(g, h1, alpha1*st2.T, seed, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scheme2 stage-2 collection: %w", err)
+	}
+	h2edges := make(map[graph.EdgeID]bool)
+	for v := 0; v < g.NumNodes(); v++ {
+		out, err := coll2.Replay(st2Spec, graph.NodeID(v))
+		if err != nil {
+			return nil, fmt.Errorf("scheme2 stage-2 replay at %d: %w", v, err)
+		}
+		for e := range out.(map[graph.EdgeID]bool) {
+			h2edges[e] = true
+		}
+	}
+	h2, err := g.SubgraphByEdges(h2edges)
+	if err != nil {
+		return nil, fmt.Errorf("scheme2: simulated %s emitted a non-subgraph: %w", st2.Name, err)
+	}
+
+	// Stage 3: final collection over H2.
+	coll, err := Collect(g, h2, st2.Stretch*spec.T, seed, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scheme2 final collection: %w", err)
+	}
+	return &SchemeResult{
+		Coll: coll,
+		Phases: []PhaseCost{
+			{Name: "sampler", Rounds: sp.Run.Rounds, Messages: sp.Run.Messages},
+			{Name: st2.Name, Rounds: coll2.Run.Rounds, Messages: coll2.Run.Messages},
+			{Name: "collect", Rounds: coll.Run.Rounds, Messages: coll.Run.Messages},
+		},
+		StretchUsed:  st2.Stretch,
+		SpannerEdges: h2.NumEdges(),
+		FinalSpanner: h2edges,
+	}, nil
+}
+
+// DirectBroadcastCost measures the Θ(t·m) baseline: t-local broadcast by
+// flooding the communication graph itself.
+func DirectBroadcastCost(g *graph.Graph, t int, seed uint64, cfg local.Config) (*Collection, error) {
+	return Collect(g, g, t, seed, cfg)
+}

@@ -1,0 +1,268 @@
+// Package simulate implements the paper's Section 6: message-efficient
+// simulation of arbitrary t-round LOCAL algorithms.
+//
+// The pipeline follows the paper exactly. In a t-round LOCAL algorithm, the
+// computation of node v depends only on the initial knowledge — identity,
+// input, incident edge IDs — of the nodes in its ball B_{G,t}(v). The
+// simulation therefore (1) performs t-local broadcast of every node's
+// initial knowledge, flooding over a spanner H with stretch α for α·t
+// rounds, and (2) has every node locally reconstruct its exact t-ball and
+// re-execute the algorithm on it ("replay"). Unique edge IDs make the
+// reconstruction possible: two collected nodes are adjacent iff their port
+// lists share an edge ID.
+//
+// Scheme1 realizes Theorem 3's first trade-off (spanner built by algorithm
+// Sampler, then one collection); Scheme2 realizes the second, two-stage
+// trade-off (Sampler's spanner simulates an off-the-shelf spanner
+// construction — Baswana–Sen here, substituting for Derbel et al., see
+// DESIGN.md — whose output spanner then carries the final collection).
+package simulate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algorithms"
+	"repro/internal/broadcast"
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+// Collection is the outcome of the t-local broadcast of port lists: for
+// every node, the port list of every node it heard about.
+type Collection struct {
+	// N is the size of the original network (for replays).
+	N int
+	// Seed is the run seed shared by the original network and all replays.
+	Seed uint64
+	// Ports[v] maps each origin u that v heard about to u's incident edge
+	// IDs in the original graph.
+	Ports []map[graph.NodeID][]graph.EdgeID
+	// Run is the cost of the collection phase.
+	Run local.Result
+}
+
+// portsOf extracts every node's (sorted) incident edge list from g.
+func portsOf(g *graph.Graph) []any {
+	out := make([]any, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		inc := g.Incident(graph.NodeID(v))
+		edges := make([]graph.EdgeID, len(inc))
+		for i, h := range inc {
+			edges[i] = h.Edge
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+		out[v] = edges
+	}
+	return out
+}
+
+// Collect floods every node's original-graph port list over host for the
+// given number of rounds. host must span the same node set as g (it is g
+// itself for the direct baseline, or a spanner of g for the schemes).
+func Collect(g, host *graph.Graph, rounds int, seed uint64, cfg local.Config) (*Collection, error) {
+	if g.NumNodes() != host.NumNodes() {
+		return nil, fmt.Errorf("simulate: host spans %d nodes, graph has %d", host.NumNodes(), g.NumNodes())
+	}
+	cfg.Seed = seed
+	fl, err := broadcast.Flood(host, portsOf(g), rounds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return collectionFrom(g, fl.Known, seed, fl.Run), nil
+}
+
+// GossipCollect performs the same collection by push–pull gossip (the
+// baseline family of Censor-Hillel et al. and Haeupler). It runs for
+// maxRounds rounds and additionally reports the earliest round at which
+// every t-ball was covered (-1 if never) and the messages spent by then.
+func GossipCollect(g *graph.Graph, t, maxRounds int, seed uint64, cfg local.Config) (*Collection, int, int64, error) {
+	cfg.Seed = seed
+	go_, err := broadcast.Gossip(g, portsOf(g), maxRounds, cfg)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	cover := broadcast.CoverRound(g, go_.Arrival, t)
+	var msgs int64
+	if cover >= 0 {
+		msgs = broadcast.MessagesUpTo(go_.Run, cover)
+	}
+	return collectionFrom(g, go_.Known, seed, go_.Run), cover, msgs, nil
+}
+
+func collectionFrom(g *graph.Graph, known []map[graph.NodeID]any, seed uint64, run local.Result) *Collection {
+	coll := &Collection{N: g.NumNodes(), Seed: seed, Run: run}
+	coll.Ports = make([]map[graph.NodeID][]graph.EdgeID, len(known))
+	for v, kn := range known {
+		m := make(map[graph.NodeID][]graph.EdgeID, len(kn))
+		for origin, payload := range kn {
+			m[origin] = payload.([]graph.EdgeID)
+		}
+		coll.Ports[v] = m
+	}
+	return coll
+}
+
+// Replay reconstructs node v's exact t-ball from the collection and
+// re-executes the algorithm on it, returning v's output — the value it
+// would have produced in a direct t-round run on the original graph.
+func (c *Collection) Replay(spec algorithms.Spec, v graph.NodeID) (any, error) {
+	known := c.Ports[v]
+	// Adjacency among known origins: an edge ID shared by two port lists
+	// connects them (the unique-edge-ID assumption at work).
+	owners := make(map[graph.EdgeID][]graph.NodeID)
+	for origin, ports := range known {
+		for _, e := range ports {
+			owners[e] = append(owners[e], origin)
+		}
+	}
+	adj := make(map[graph.NodeID][]graph.NodeID, len(known))
+	for e, os := range owners {
+		if len(os) > 2 {
+			return nil, fmt.Errorf("simulate: edge %d claimed by %d nodes", e, len(os))
+		}
+		if len(os) == 2 {
+			adj[os[0]] = append(adj[os[0]], os[1])
+			adj[os[1]] = append(adj[os[1]], os[0])
+		}
+	}
+	// Distances from v among known origins. For targets within t these
+	// equal original-graph distances: every vertex of a shortest path of
+	// length <= t lies in B_{G,t}(v), which the collection covers.
+	dist := map[graph.NodeID]int{v: 0}
+	queue := []graph.NodeID{v}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] >= spec.T {
+			continue
+		}
+		for _, w := range adj[u] {
+			if _, ok := dist[w]; !ok {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	// Ball members, deterministically ordered.
+	ball := make([]graph.NodeID, 0, len(dist))
+	for u := range dist {
+		ball = append(ball, u)
+	}
+	sort.Slice(ball, func(i, j int) bool { return ball[i] < ball[j] })
+
+	// Build the replay graph: ball nodes with their complete port lists.
+	// Edges leaving the ball get their far endpoint as a "phantom" node —
+	// the known origin beyond distance t when the collection heard of it, or
+	// a synthetic node otherwise. Phantoms sit at distance >= t+1 from v, so
+	// their (arbitrary) behaviour cannot influence v within t rounds; they
+	// exist so that boundary nodes of the ball see their true degree.
+	idx := make(map[graph.NodeID]int, len(ball))
+	var idmap []graph.NodeID
+	addNode := func(id graph.NodeID) int {
+		if i, ok := idx[id]; ok {
+			return i
+		}
+		i := len(idmap)
+		idx[id] = i
+		idmap = append(idmap, id)
+		return i
+	}
+	for _, u := range ball {
+		addNode(u)
+	}
+	type pend struct {
+		e    graph.EdgeID
+		a, b int
+	}
+	var pends []pend
+	seenEdge := make(map[graph.EdgeID]bool)
+	synth := c.N // synthetic phantom identities start beyond all real IDs
+	for _, u := range ball {
+		for _, e := range known[u] {
+			if seenEdge[e] {
+				continue
+			}
+			seenEdge[e] = true
+			var far graph.NodeID
+			switch os := owners[e]; len(os) {
+			case 2:
+				far = os[0]
+				if far == u {
+					far = os[1]
+				}
+			default:
+				far = graph.NodeID(synth)
+				synth++
+			}
+			pends = append(pends, pend{e: e, a: idx[u], b: addNode(far)})
+		}
+	}
+	rg := graph.New(len(idmap))
+	for _, p := range pends {
+		if p.a == p.b {
+			return nil, fmt.Errorf("simulate: reconstructed self-loop on edge %d", p.e)
+		}
+		if err := rg.AddEdgeWithID(p.e, graph.NodeID(p.a), graph.NodeID(p.b)); err != nil {
+			return nil, fmt.Errorf("simulate: rebuilding ball of %d: %w", v, err)
+		}
+	}
+
+	// Re-execute with original identities, original network size, and the
+	// original seed, so every ball node behaves exactly as in the real run.
+	protos := make([]local.Protocol, rg.NumNodes())
+	run, err := local.Run(rg, func(id graph.NodeID) local.Protocol {
+		p := spec.New(id)
+		// Factory receives mapped IDs; find the slot by identity.
+		protos[idx[id]] = p
+		return p
+	}, local.Config{
+		Seed:      c.Seed,
+		MaxRounds: spec.T + 1,
+		IDMap:     idmap,
+		NOverride: c.N,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !run.Halted {
+		return nil, fmt.Errorf("simulate: replay of %s did not halt in %d rounds", spec.Name, spec.T)
+	}
+	return spec.Output(protos[idx[v]]), nil
+}
+
+// ReplayAll replays every node and returns the full output vector.
+func (c *Collection) ReplayAll(spec algorithms.Spec) ([]any, error) {
+	out := make([]any, len(c.Ports))
+	for v := range c.Ports {
+		o, err := c.Replay(spec, graph.NodeID(v))
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", v, err)
+		}
+		out[v] = o
+	}
+	return out, nil
+}
+
+// Direct runs the algorithm directly on g — the ground truth and the
+// Θ(t·m)-message baseline.
+func Direct(g *graph.Graph, spec algorithms.Spec, seed uint64, cfg local.Config) ([]any, local.Result, error) {
+	protos := make([]local.Protocol, g.NumNodes())
+	cfg.Seed = seed
+	cfg.MaxRounds = spec.T + 1
+	run, err := local.Run(g, func(v graph.NodeID) local.Protocol {
+		protos[v] = spec.New(v)
+		return protos[v]
+	}, cfg)
+	if err != nil {
+		return nil, local.Result{}, err
+	}
+	if !run.Halted {
+		return nil, run, fmt.Errorf("simulate: %s did not halt in %d rounds", spec.Name, spec.T)
+	}
+	out := make([]any, len(protos))
+	for v, p := range protos {
+		out[v] = spec.Output(p)
+	}
+	return out, run, nil
+}

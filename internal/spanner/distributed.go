@@ -1,0 +1,346 @@
+package spanner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+// Distributed Baswana–Sen. The protocol is the textbook LOCAL realization:
+// in each of the k−1 sampling iterations every clustered node announces its
+// (cluster, sampled) pair over every incident edge, so the message
+// complexity is Θ(k·m) — this is the baseline whose Ω(m) bottleneck the
+// paper's algorithm Sampler removes. Round complexity is O(k²) (iteration i
+// pays i rounds for the center-coin broadcast down radius-(i−1) cluster
+// trees).
+//
+// The protocol is a plain local.Protocol with a fixed round budget
+// (BSRounds), so it can also serve as the target algorithm of the paper's
+// two-stage message-reduction scheme: the scheme simulates this protocol's
+// execution on G by ball collection over the stage-1 spanner.
+
+// BSRounds returns the fixed round budget of the distributed protocol for
+// stretch parameter k: Σ_{i=1..k-1}(i+3) for the sampling iterations plus 3
+// for the final clustering phase.
+func BSRounds(k int) int {
+	total := 3
+	for i := 1; i < k; i++ {
+		total += i + 3
+	}
+	return total
+}
+
+// bsPhase identifies what a round within one iteration does.
+type bsPhase int
+
+const (
+	bsCoin     bsPhase = iota + 1 // center coin floods down the cluster tree
+	bsAnnounce                    // clustered nodes announce over all edges
+	bsDecide                      // join/leave decisions; PARENT and ACCEPT sends
+	bsSettle                      // PARENT/ACCEPT receipts processed
+	bsDone
+)
+
+// bsLocate maps a global round to (iteration, phase, round-within-coin).
+// Iterations are 1..k-1; iteration k means the final clustering phase (which
+// has no coin rounds).
+func bsLocate(round, k int) (iter int, ph bsPhase) {
+	for i := 1; i < k; i++ {
+		coin := i // rounds for the coin broadcast (tree depth i-1, +1)
+		if round < coin {
+			return i, bsCoin
+		}
+		round -= coin
+		if round < 3 {
+			return i, []bsPhase{bsAnnounce, bsDecide, bsSettle}[round]
+		}
+		round -= 3
+	}
+	if round < 3 {
+		return k, []bsPhase{bsAnnounce, bsDecide, bsSettle}[round]
+	}
+	return k, bsDone
+}
+
+// Message payloads.
+type bsCoinMsg struct {
+	Cluster graph.NodeID
+	Sampled bool
+}
+type bsAnnounceMsg struct {
+	Cluster graph.NodeID
+	Sampled bool // meaningless in the final phase
+}
+type bsParentMsg struct{}
+type bsAcceptMsg struct{}
+
+// BSNode is the per-node protocol state. Exported so the simulation layer
+// can extract outputs from replayed instances.
+type BSNode struct {
+	K int
+
+	cluster     graph.NodeID // my cluster's center, or -1 once unclustered
+	clustered   bool
+	isCenter    bool
+	parent      graph.EdgeID
+	hasParent   bool
+	children    map[graph.EdgeID]bool
+	sampledNow  bool // my cluster's coin this iteration
+	coinKnown   bool
+	anns        []bsAnn // announcements heard this iteration
+	pendingJoin graph.EdgeID
+	hasJoin     bool
+	accepts     []graph.EdgeID
+
+	// InS is the node's final knowledge: its incident spanner edges.
+	InS map[graph.EdgeID]bool
+}
+
+type bsAnn struct {
+	Edge    graph.EdgeID
+	Cluster graph.NodeID
+	Sampled bool
+}
+
+var _ local.Protocol = (*BSNode)(nil)
+
+// NewBSNode returns a protocol instance for one node.
+func NewBSNode(k int) *BSNode {
+	return &BSNode{K: k, children: make(map[graph.EdgeID]bool), InS: make(map[graph.EdgeID]bool)}
+}
+
+// Step implements local.Protocol.
+func (nd *BSNode) Step(env *local.Env, round int, inbox []local.Message) {
+	if round == 0 {
+		nd.cluster = env.ID()
+		nd.clustered = true
+		nd.isCenter = true
+	}
+	iter, ph := bsLocate(round, nd.K)
+
+	// Receipts first: they belong to the previous phase's sends.
+	for _, m := range inbox {
+		switch msg := m.Payload.(type) {
+		case bsCoinMsg:
+			nd.learnCoin(env, msg, m.Edge)
+		case bsAnnounceMsg:
+			nd.anns = append(nd.anns, bsAnn{Edge: m.Edge, Cluster: msg.Cluster, Sampled: msg.Sampled})
+		case bsParentMsg:
+			nd.children[m.Edge] = true
+		case bsAcceptMsg:
+			nd.InS[m.Edge] = true
+		default:
+			panic(fmt.Sprintf("spanner: unexpected message %T", m.Payload))
+		}
+	}
+
+	switch ph {
+	case bsCoin:
+		// First coin round of the iteration: centers flip and start the
+		// flood; everyone resets iteration-local state.
+		if nd.iterStart(round) {
+			nd.coinKnown = false
+			nd.anns = nil
+			if nd.clustered && nd.isCenter {
+				p := math.Pow(float64(env.N()), -1.0/float64(nd.K))
+				nd.sampledNow = env.Rand().Bernoulli(p)
+				nd.coinKnown = true
+				nd.forwardCoin(env, noFrom)
+			}
+		}
+	case bsAnnounce:
+		if iter == nd.K {
+			nd.anns = nil // final phase has no coin rounds; reset here
+		}
+		if nd.clustered {
+			for _, pt := range env.Ports() {
+				env.Send(pt.Edge, bsAnnounceMsg{Cluster: nd.cluster, Sampled: nd.sampledNow})
+			}
+		}
+	case bsDecide:
+		nd.flushAccepts(env)
+		if iter < nd.K {
+			nd.decideIteration(env)
+		} else {
+			nd.decideFinal()
+		}
+	case bsSettle:
+		nd.flushAccepts(env)
+		if nd.hasJoin {
+			env.Send(nd.pendingJoin, bsParentMsg{})
+			nd.hasJoin = false
+		}
+	case bsDone:
+		nd.flushAccepts(env)
+		env.Halt()
+	}
+}
+
+// noFrom marks "flood origin" for forwardCoin.
+const noFrom = graph.EdgeID(-1)
+
+// iterStart reports whether this round begins an iteration's coin phase.
+func (nd *BSNode) iterStart(round int) bool {
+	r := 0
+	for i := 1; i < nd.K; i++ {
+		if round == r {
+			return true
+		}
+		r += i + 3
+	}
+	return false
+}
+
+func (nd *BSNode) learnCoin(env *local.Env, msg bsCoinMsg, from graph.EdgeID) {
+	if nd.coinKnown || !nd.clustered {
+		return
+	}
+	nd.sampledNow = msg.Sampled
+	nd.coinKnown = true
+	nd.forwardCoin(env, from)
+}
+
+func (nd *BSNode) forwardCoin(env *local.Env, from graph.EdgeID) {
+	for e := range nd.children {
+		if e != from {
+			env.Send(e, bsCoinMsg{Cluster: nd.cluster, Sampled: nd.sampledNow})
+		}
+	}
+}
+
+func (nd *BSNode) flushAccepts(env *local.Env) {
+	for _, e := range nd.accepts {
+		env.Send(e, bsAcceptMsg{})
+	}
+	nd.accepts = nil
+}
+
+// decideIteration applies the Baswana–Sen case analysis for one vertex of an
+// unsampled cluster: join a sampled neighboring cluster, or add one edge per
+// neighboring cluster and leave.
+func (nd *BSNode) decideIteration(env *local.Env) {
+	if !nd.clustered || nd.sampledNow {
+		return // unsampled? sampled clusters persist wholesale
+	}
+	// My cluster was not sampled: I re-decide individually, dropping my old
+	// tree links.
+	nd.children = make(map[graph.EdgeID]bool)
+	nd.hasParent = false
+	nd.isCenter = false
+
+	best, bestEdge := bsBestSampled(nd.anns)
+	if best != unclustered {
+		nd.cluster = best
+		nd.hasParent = true
+		nd.parent = bestEdge
+		nd.InS[bestEdge] = true
+		nd.accepts = append(nd.accepts, bestEdge)
+		nd.pendingJoin = bestEdge
+		nd.hasJoin = true
+		return
+	}
+	// No sampled neighbor: connect to every neighboring cluster and leave.
+	for _, e := range bsClusterEdges(nd.anns, unclustered) {
+		nd.InS[e] = true
+		nd.accepts = append(nd.accepts, e)
+	}
+	nd.clustered = false
+	nd.cluster = unclustered
+}
+
+// decideFinal applies phase 2: still-clustered vertices connect to every
+// neighboring cluster other than their own.
+func (nd *BSNode) decideFinal() {
+	if !nd.clustered {
+		return
+	}
+	for _, e := range bsClusterEdges(nd.anns, nd.cluster) {
+		nd.InS[e] = true
+		nd.accepts = append(nd.accepts, e)
+	}
+}
+
+// bsBestSampled returns the smallest sampled cluster among announcements and
+// the smallest edge reaching it.
+func bsBestSampled(anns []bsAnn) (graph.NodeID, graph.EdgeID) {
+	best := unclustered
+	var bestEdge graph.EdgeID
+	for _, a := range anns {
+		if !a.Sampled {
+			continue
+		}
+		if best == unclustered || a.Cluster < best || (a.Cluster == best && a.Edge < bestEdge) {
+			best, bestEdge = a.Cluster, a.Edge
+		}
+	}
+	return best, bestEdge
+}
+
+// bsClusterEdges returns one (smallest-ID) edge per announced cluster,
+// excluding the given cluster, in deterministic order.
+func bsClusterEdges(anns []bsAnn, exclude graph.NodeID) []graph.EdgeID {
+	perCluster := make(map[graph.NodeID]graph.EdgeID)
+	for _, a := range anns {
+		if a.Cluster == exclude {
+			continue
+		}
+		if e, ok := perCluster[a.Cluster]; !ok || a.Edge < e {
+			perCluster[a.Cluster] = a.Edge
+		}
+	}
+	out := make([]graph.EdgeID, 0, len(perCluster))
+	for _, e := range perCluster {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BSDistResult is the outcome of a direct distributed run.
+type BSDistResult struct {
+	S   map[graph.EdgeID]bool
+	K   int
+	Run local.Result
+}
+
+// StretchBound returns 2K−1.
+func (r *BSDistResult) StretchBound() int { return 2*r.K - 1 }
+
+// BaswanaSenDistributed runs the protocol directly on g under the LOCAL
+// simulator (the Θ(k·m)-message baseline).
+func BaswanaSenDistributed(g *graph.Graph, k int, seed uint64, cfg local.Config) (*BSDistResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("spanner: k = %d, need k >= 1", k)
+	}
+	nodes := make([]*BSNode, g.NumNodes())
+	cfg.Seed = seed
+	cfg.MaxRounds = BSRounds(k) + 1
+	run, err := local.Run(g, func(v graph.NodeID) local.Protocol {
+		nodes[v] = NewBSNode(k)
+		return nodes[v]
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !run.Halted {
+		return nil, fmt.Errorf("spanner: distributed Baswana–Sen did not halt in %d rounds", BSRounds(k))
+	}
+	res := &BSDistResult{S: make(map[graph.EdgeID]bool), K: k, Run: run}
+	for _, nd := range nodes {
+		for e := range nd.InS {
+			res.S[e] = true
+		}
+	}
+	return res, nil
+}
+
+// Payload sizes (local.Sizer): words per message.
+
+// PayloadUnits implements local.Sizer.
+func (m bsCoinMsg) PayloadUnits() int64 { return 2 }
+
+// PayloadUnits implements local.Sizer.
+func (m bsAnnounceMsg) PayloadUnits() int64 { return 2 }

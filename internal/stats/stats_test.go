@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFitPowerLawExact(t *testing.T) {
+	xs := []float64{10, 100, 1000, 10000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 1.5)
+	}
+	a, c := FitPowerLaw(xs, ys)
+	if math.Abs(a-1.5) > 1e-9 || math.Abs(c-3) > 1e-6 {
+		t.Fatalf("fit = (%v, %v), want (1.5, 3)", a, c)
+	}
+}
+
+func TestFitPowerLawNoisy(t *testing.T) {
+	xs := []float64{100, 200, 400, 800, 1600}
+	ys := []float64{}
+	for i, x := range xs {
+		noise := 1 + 0.05*float64(i%2*2-1)
+		ys = append(ys, 2*math.Pow(x, 1.2)*noise)
+	}
+	a, _ := FitPowerLaw(xs, ys)
+	if math.Abs(a-1.2) > 0.05 {
+		t.Fatalf("noisy fit exponent = %v", a)
+	}
+}
+
+func TestFitPowerLawPanics(t *testing.T) {
+	for _, tc := range [][2][]float64{
+		{{1}, {1}},
+		{{1, 2}, {1}},
+		{{1, -2}, {1, 1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %v", tc)
+				}
+			}()
+			FitPowerLaw(tc[0], tc[1])
+		}()
+	}
+}
+
+func TestLinearFitFlat(t *testing.T) {
+	slope, intercept := linearFit([]float64{1, 1, 1}, []float64{2, 4, 6})
+	if slope != 0 || intercept != 4 {
+		t.Fatalf("degenerate fit = (%v, %v)", slope, intercept)
+	}
+}
+
+func TestMeanMaxPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 {
+		t.Fatal("mean")
+	}
+	if Max(xs) != 4 {
+		t.Fatal("max")
+	}
+	if Percentile(xs, 50) != 2 {
+		t.Fatalf("p50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(xs, 100) != 4 || Percentile(xs, 0) != 1 {
+		t.Fatal("extremes")
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Fatal("empty inputs")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"a", "bbb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if !strings.Contains(out, "a    bbb") && !strings.Contains(out, "a  ") {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(3) != "3" {
+		t.Fatal(F(3))
+	}
+	if F(3.14159) != "3.142" {
+		t.Fatal(F(3.14159))
+	}
+	if F(123456) != "123456" {
+		t.Fatal(F(123456))
+	}
+	if F(123456.7) != "1.23e+05" {
+		t.Fatal(F(123456.7))
+	}
+}
