@@ -1,4 +1,4 @@
-package repro
+package repro_test
 
 // One benchmark per experiment in DESIGN.md §4. Each runs the experiment's
 // quick configuration and fails if the paper-shape check does not hold, so
@@ -6,8 +6,10 @@ package repro
 // The full-size tables in EXPERIMENTS.md come from cmd/experiments.
 
 import (
+	"context"
 	"testing"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph/gen"
@@ -45,6 +47,35 @@ func BenchmarkE7Scheme1(b *testing.B)          { benchExperiment(b, "E7") }
 func BenchmarkE8TwoStage(b *testing.B)         { benchExperiment(b, "E8") }
 func BenchmarkE10PeelingAblation(b *testing.B) { benchExperiment(b, "E10") }
 func BenchmarkE11Crossover(b *testing.B)       { benchExperiment(b, "E11") }
+
+// BenchmarkSchemes enumerates the scheme registry: every registered
+// execution strategy runs the same workload under one engine, with the
+// message cost surfaced as a custom metric by a registered observer — no
+// hardcoded call sites, so a newly registered scheme is benchmarked for
+// free.
+func BenchmarkSchemes(b *testing.B) {
+	g := gen.ConnectedGNP(120, 0.08, xrand.New(11))
+	spec := repro.MaxID(3)
+	for _, s := range repro.Schemes() {
+		b.Run(s.Name(), func(b *testing.B) {
+			var msgs int64
+			eng := repro.NewEngine(
+				repro.WithSeed(5),
+				repro.WithConcurrency(-1),
+				repro.WithObserver(repro.ObserverFuncs{
+					OnPhase: func(c repro.PhaseCost) { msgs += c.Messages },
+				}),
+			)
+			for i := 0; i < b.N; i++ {
+				msgs = 0
+				if _, err := eng.RunScheme(context.Background(), s, g, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+		})
+	}
+}
 
 // Micro-benchmarks of the building blocks, with message costs surfaced as
 // custom metrics.
@@ -88,10 +119,10 @@ func BenchmarkLocalEngineConcurrent(b *testing.B) {
 func benchLocalEngine(b *testing.B, concurrent bool) {
 	b.Helper()
 	g := gen.ConnectedGNP(2000, 0.01, xrand.New(3))
-	spec := MaxID(5)
+	spec := repro.MaxID(5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := simulate.Direct(g, spec, uint64(i), local.Config{Concurrent: concurrent}); err != nil {
+		if _, _, err := simulate.Direct(context.Background(), g, spec, uint64(i), local.Config{Concurrent: concurrent}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -110,7 +141,7 @@ func BenchmarkCollectOnSpanner(b *testing.B) {
 	b.ResetTimer()
 	var msgs int64
 	for i := 0; i < b.N; i++ {
-		coll, err := simulate.Collect(g, h, sp.StretchBound()*2, uint64(i), local.Config{Concurrent: true})
+		coll, err := simulate.Collect(context.Background(), g, h, sp.StretchBound()*2, uint64(i), local.Config{Concurrent: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,14 +152,14 @@ func BenchmarkCollectOnSpanner(b *testing.B) {
 
 func BenchmarkReplay(b *testing.B) {
 	g := gen.ConnectedGNP(300, 0.05, xrand.New(4))
-	spec := MaxID(3)
-	coll, err := simulate.Collect(g, g, spec.T, 7, local.Config{})
+	spec := repro.MaxID(3)
+	coll, err := simulate.Collect(context.Background(), g, g, spec.T, 7, local.Config{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := coll.Replay(spec, NodeID(i%g.NumNodes())); err != nil {
+		if _, err := coll.Replay(spec, repro.NodeID(i%g.NumNodes())); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,3 +171,5 @@ func BenchmarkE13BitComplexity(b *testing.B)  { benchExperiment(b, "E13") }
 func BenchmarkE14SpannerQuality(b *testing.B) { benchExperiment(b, "E14") }
 
 func BenchmarkE15ElkinNeimanStage(b *testing.B) { benchExperiment(b, "E15") }
+
+func BenchmarkE16RegistryFidelity(b *testing.B) { benchExperiment(b, "E16") }

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-run E4,E7]
+//	experiments [-quick] [-progress] [-run E4,E7]
+//
+// With -progress, experiments that drive simulation pipelines stream their
+// per-phase costs live through the observer hook instead of staying silent
+// until the table prints.
 package main
 
 import (
@@ -13,14 +17,21 @@ import (
 	"os"
 	"strings"
 	"time"
-)
 
-import "repro/internal/experiments"
+	"repro/internal/experiments"
+)
 
 func main() {
 	quick := flag.Bool("quick", false, "run bench-scale configurations")
+	progress := flag.Bool("progress", false, "stream live per-phase pipeline progress")
 	only := flag.String("run", "", "comma-separated experiment IDs (default all)")
 	flag.Parse()
+
+	if *progress {
+		experiments.Progress = func(format string, args ...any) {
+			fmt.Printf("   | "+format+"\n", args...)
+		}
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {

@@ -1,115 +1,124 @@
 // Command simulate runs a t-round LOCAL algorithm on a generated graph
-// under one of the execution strategies the paper compares — direct
-// execution, message-reduction scheme 1, scheme 2, or gossip collection —
-// verifies that simulated outputs match direct execution, and prints the
-// cost ledger.
+// under any execution scheme in the registry — direct execution, the
+// paper's message-reduction schemes 1/2 (Baswana–Sen) / 2en (Elkin–Neiman),
+// or the push–pull gossip baseline — verifies that simulated outputs match
+// direct execution bit for bit, and prints the cost ledger.
 //
-// Usage:
+// Schemes are addressed by registry name, so a newly registered scheme is
+// runnable here without touching this file:
 //
-//	simulate -graph complete -n 400 -alg maxid -t 4 -scheme 1 -gamma 2
+//	simulate -graph complete -n 400 -alg maxid -t 4 -scheme scheme2en -gamma 2
+//
+// Interrupting a run (Ctrl-C) cancels the engine's context; the simulation
+// aborts mid-round.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
+	"strings"
 
+	"repro"
 	"repro/internal/algorithms"
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
-	"repro/internal/local"
-	"repro/internal/simulate"
 	"repro/internal/xrand"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		kind   = flag.String("graph", "complete", "graph family: gnp|complete|grid|hypercube|barbell")
-		n      = flag.Int("n", 300, "node count")
-		deg    = flag.Float64("deg", 16, "average degree for gnp")
-		alg    = flag.String("alg", "maxid", "algorithm: maxid|mis|coloring|bfs")
-		t      = flag.Int("t", 4, "round budget for maxid/bfs (mis/coloring use their whp budgets)")
-		scheme = flag.Int("scheme", 1, "0=direct only, 1=scheme1, 2=scheme2, 3=gossip")
-		gamma  = flag.Int("gamma", 1, "Sampler level parameter for the schemes")
-		bsK    = flag.Int("bsk", 2, "Baswana–Sen stretch parameter for scheme 2")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		check  = flag.Int("check", 25, "number of nodes to verify against direct execution")
+		kind     = flag.String("graph", "complete", "graph family: gnp|complete|grid|hypercube|barbell")
+		n        = flag.Int("n", 300, "node count")
+		deg      = flag.Float64("deg", 16, "average degree for gnp")
+		alg      = flag.String("alg", "maxid", "algorithm: maxid|mis|coloring|bfs")
+		t        = flag.Int("t", 4, "round budget for maxid/bfs (mis/coloring use their whp budgets)")
+		scheme   = flag.String("scheme", "scheme1", "execution scheme: "+strings.Join(repro.SchemeNames(), "|"))
+		gamma    = flag.Int("gamma", 1, "Sampler level parameter for the schemes")
+		stageK   = flag.Int("stagek", 2, "stage-2 stretch parameter for scheme2/scheme2en")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		progress = flag.Bool("progress", false, "stream live per-round progress from the observer")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	g := makeGraph(*kind, *n, *deg, *seed)
 	spec := makeSpec(*alg, *t, g.NumNodes())
-	fmt.Printf("graph: %s n=%d m=%d   algorithm: %s t=%d\n",
-		*kind, g.NumNodes(), g.NumEdges(), spec.Name, spec.T)
+	fmt.Printf("graph: %s n=%d m=%d   algorithm: %s t=%d   scheme: %s\n",
+		*kind, g.NumNodes(), g.NumEdges(), spec.Name, spec.T, *scheme)
 
-	direct, directRun, err := simulate.Direct(g, spec, *seed, local.Config{Concurrent: true})
-	if err != nil {
-		log.Fatal(err)
+	opts := []repro.Option{
+		repro.WithSeed(*seed),
+		repro.WithConcurrency(-1),
+		repro.WithGamma(*gamma),
+		repro.WithStageK(*stageK),
+		repro.WithObserver(progressObserver(*progress)),
 	}
-	fmt.Printf("direct: rounds=%d messages=%d\n", directRun.Rounds, directRun.Messages)
-	if *scheme == 0 {
+	eng := repro.NewEngine(opts...)
+
+	direct, err := eng.Run(ctx, "direct", g, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("direct: rounds=%d messages=%d\n", direct.Rounds, direct.Messages)
+	if *scheme == "direct" {
 		return
 	}
 
-	var coll *simulate.Collection
-	switch *scheme {
-	case 1:
-		res, err := simulate.Scheme1(g, spec, simulate.Scheme1Params(*gamma), *seed, local.Config{Concurrent: true})
-		if err != nil {
-			log.Fatal(err)
-		}
-		printScheme("scheme1", res, directRun.Messages)
-		coll = res.Coll
-	case 2:
-		res, err := simulate.Scheme2(g, spec, simulate.Scheme1Params(*gamma), *bsK, *seed, local.Config{Concurrent: true})
-		if err != nil {
-			log.Fatal(err)
-		}
-		printScheme("scheme2", res, directRun.Messages)
-		coll = res.Coll
-	case 3:
-		c, cover, msgs, err := simulate.GossipCollect(g, spec.T, 100*g.NumNodes(), *seed, local.Config{Concurrent: true})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("gossip: cover-round=%d messages-to-cover=%d\n", cover, msgs)
-		if cover < 0 {
-			log.Fatal("gossip did not cover the t-balls within its budget")
-		}
-		coll = c
-	default:
-		log.Fatalf("unknown scheme %d", *scheme)
+	res, err := eng.Run(ctx, *scheme, g, spec)
+	if err != nil {
+		fatal(err)
 	}
-
-	// Verify a sample of nodes against the direct run.
-	step := g.NumNodes() / max(1, *check)
-	if step == 0 {
-		step = 1
-	}
-	verified := 0
-	for v := 0; v < g.NumNodes(); v += step {
-		got, err := coll.Replay(spec, graph.NodeID(v))
-		if err != nil {
-			log.Fatalf("replay at node %d: %v", v, err)
-		}
-		if got != direct[v] {
-			log.Fatalf("FIDELITY VIOLATION at node %d: simulated %v, direct %v", v, got, direct[v])
-		}
-		verified++
-	}
-	fmt.Printf("fidelity: %d sampled nodes match direct execution exactly\n", verified)
-}
-
-func printScheme(name string, res *simulate.SchemeResult, directMsgs int64) {
 	fmt.Printf("%s: rounds=%d messages=%d (%.2fx direct)\n",
-		name, res.TotalRounds(), res.TotalMessages(),
-		float64(res.TotalMessages())/float64(directMsgs))
+		res.Scheme, res.Rounds, res.Messages, float64(res.Messages)/float64(direct.Messages))
 	for _, ph := range res.Phases {
 		fmt.Printf("  %-12s rounds=%-6d messages=%d\n", ph.Name, ph.Rounds, ph.Messages)
 	}
-	fmt.Printf("  carrier spanner: %d edges, stretch bound %d\n", res.SpannerEdges, res.StretchUsed)
+	if res.SpannerEdges > 0 {
+		fmt.Printf("  carrier spanner: %d edges, stretch bound %d\n", res.SpannerEdges, res.StretchUsed)
+	}
+
+	// Fidelity: every node's simulated output must equal direct execution's.
+	for v := range direct.Outputs {
+		if res.Outputs[v] != direct.Outputs[v] {
+			log.Fatalf("FIDELITY VIOLATION at node %d: simulated %v, direct %v",
+				v, res.Outputs[v], direct.Outputs[v])
+		}
+	}
+	fmt.Printf("fidelity: all %d node outputs match direct execution exactly\n", len(direct.Outputs))
+}
+
+// fatal distinguishes user cancellation from real failures.
+func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		log.Fatal("cancelled (simulation aborted mid-round)")
+	}
+	log.Fatal(err)
+}
+
+// progressObserver prints the cost ledger as it streams in: every phase
+// completion, and (with live set) a round ticker.
+func progressObserver(live bool) repro.Observer {
+	return repro.ObserverFuncs{
+		OnRound: func(phase string, round int, messages int64) {
+			if live && round%16 == 0 {
+				fmt.Printf("  ... %-12s round %-6d %d messages\n", phase, round, messages)
+			}
+		},
+		OnPhase: func(c repro.PhaseCost) {
+			if live {
+				fmt.Printf("  phase %-12s done: rounds=%-6d messages=%d\n", c.Name, c.Rounds, c.Messages)
+			}
+		},
+	}
 }
 
 func makeSpec(alg string, t, n int) algorithms.Spec {

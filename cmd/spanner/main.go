@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -35,13 +38,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the distributed protocol mid-round.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	g := makeGraph(*kind, *n, *deg, *seed)
 	fmt.Printf("graph: %s  n=%d m=%d\n", *kind, g.NumNodes(), g.NumEdges())
 
 	p := core.Default(*k, *h)
 	p.C = *c
 	if *distributed {
-		res, err := core.BuildDistributed(g, p, *seed, local.Config{Concurrent: true})
+		res, err := core.BuildDistributedCtx(ctx, g, p, *seed, local.Config{Concurrent: true})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,172 @@
+package repro
+
+// The pre-registry entry points. Each is a thin wrapper over the
+// Engine/Scheme API that maps the old loose parameters onto functional
+// options; outputs are bit-identical to the historical implementations at
+// the same seed (the scheme pipelines call the same internal code with the
+// same parameters).
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// SpannerOptions configures BuildSpanner.
+//
+// Deprecated: use NewEngine with WithSpannerParams and Engine.BuildSpanner.
+type SpannerOptions struct {
+	// K is the hierarchy depth (stretch bound 2·3^K − 1, size exponent
+	// 1 + 1/(2^{K+1}−1)). Default 2.
+	K int
+	// H is the trial parameter (message exponent surplus 1/H; round factor
+	// H). Default 4.
+	H int
+	// C scales the whp thresholds. Default 1; experiments at n below a few
+	// thousand often use 0.5.
+	C float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Distributed selects the full LOCAL-model protocol (Section 5 of the
+	// paper) instead of the centralized reference implementation; the
+	// result then carries round and message costs.
+	Distributed bool
+	// Run configures the simulator in distributed mode.
+	Run RunConfig
+}
+
+func (o SpannerOptions) params() core.Params {
+	k, h := o.K, o.H
+	if k == 0 {
+		k = 2
+	}
+	if h == 0 {
+		h = 4
+	}
+	p := core.Default(k, h)
+	if o.C != 0 {
+		p.C = o.C
+	}
+	return p
+}
+
+// BuildSpanner runs algorithm Sampler on the connected simple graph g.
+//
+// Deprecated: use Engine.BuildSpanner for the distributed protocol. The
+// centralized reference implementation remains available only through this
+// wrapper (Distributed: false).
+func BuildSpanner(g *Graph, opts SpannerOptions) (*Spanner, error) {
+	if err := checkConfig(opts.Run); err != nil {
+		return nil, err
+	}
+	p := opts.params()
+	if opts.Distributed {
+		eng := NewEngine(append(optionsFromConfig(opts.Run, opts.Seed),
+			WithSpannerParams(p.K, p.H, opts.C))...)
+		return eng.BuildSpanner(context.Background(), g)
+	}
+	res, err := core.Build(g, p, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Spanner{Edges: res.S, StretchBound: res.StretchBound()}, nil
+}
+
+// optionsFromConfig translates a raw simulator config into engine options.
+func optionsFromConfig(cfg RunConfig, seed uint64) []Option {
+	opts := []Option{WithSeed(seed)}
+	if cfg.KT1 {
+		opts = append(opts, WithKT1(true))
+	}
+	if cfg.Concurrent {
+		if cfg.Workers > 0 {
+			opts = append(opts, WithConcurrency(cfg.Workers))
+		} else {
+			opts = append(opts, WithConcurrency(-1))
+		}
+	}
+	if cfg.MaxRounds != 0 {
+		opts = append(opts, WithMaxRounds(cfg.MaxRounds))
+	}
+	if cfg.LogNSlack != 0 {
+		opts = append(opts, WithLogNSlack(cfg.LogNSlack))
+	}
+	if cfg.OnRound != nil {
+		round := cfg.OnRound
+		opts = append(opts, WithObserver(ObserverFuncs{
+			OnRound: func(_ string, r int, m int64) { round(r, m) },
+		}))
+	}
+	return opts
+}
+
+// checkConfig rejects config fields the option model deliberately does not
+// carry: IDMap and NOverride are ball-replay internals the pipelines manage
+// themselves. Erroring beats the silent drop that would otherwise change
+// outputs at the same seed.
+func checkConfig(cfg RunConfig) error {
+	if cfg.IDMap != nil || cfg.NOverride > 0 {
+		return fmt.Errorf("repro: RunConfig.IDMap/NOverride are replay internals and cannot be set on facade runs")
+	}
+	return nil
+}
+
+// RunDirect executes the algorithm directly on g: the ground truth and the
+// Θ(t·m)-message baseline.
+//
+// Deprecated: use Engine.Run with scheme "direct".
+func RunDirect(g *Graph, spec AlgorithmSpec, seed uint64, cfg RunConfig) (*SimulationResult, error) {
+	if err := checkConfig(cfg); err != nil {
+		return nil, err
+	}
+	res, err := NewEngine(optionsFromConfig(cfg, seed)...).Run(context.Background(), "direct", g, spec)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases = nil // historical contract: no phase ledger for direct runs
+	return res, nil
+}
+
+// SimulateScheme1 simulates spec on g with the paper's first
+// message-reduction scheme (Theorem 3): a Sampler spanner with parameter
+// gamma carries a stretch·t-round collection of every node's initial
+// knowledge; outputs are recovered by local replay and match RunDirect's
+// exactly (same seed).
+//
+// Deprecated: use Engine.Run with scheme "scheme1" and WithGamma.
+func SimulateScheme1(g *Graph, spec AlgorithmSpec, gamma int, seed uint64, cfg RunConfig) (*SimulationResult, error) {
+	if err := checkConfig(cfg); err != nil {
+		return nil, err
+	}
+	eng := NewEngine(append(optionsFromConfig(cfg, seed), WithGamma(gamma))...)
+	return eng.Run(context.Background(), "scheme1", g, spec)
+}
+
+// SimulateScheme2 simulates spec with the paper's two-stage scheme: the
+// Sampler spanner first simulates an off-the-shelf spanner construction
+// (Baswana–Sen with stretch 2·bsK−1), whose output carries the final
+// collection.
+//
+// Deprecated: use Engine.Run with scheme "scheme2", WithGamma, WithStageK.
+func SimulateScheme2(g *Graph, spec AlgorithmSpec, gamma, bsK int, seed uint64, cfg RunConfig) (*SimulationResult, error) {
+	if err := checkConfig(cfg); err != nil {
+		return nil, err
+	}
+	eng := NewEngine(append(optionsFromConfig(cfg, seed), WithGamma(gamma), WithStageK(bsK))...)
+	return eng.Run(context.Background(), "scheme2", g, spec)
+}
+
+// SimulateScheme2EN is SimulateScheme2 with the Elkin–Neiman construction
+// as the simulated stage (stretch 2·enK−1 in enK+O(1) rounds instead of
+// Baswana–Sen's O(enK²)) — the improvement anticipated by the paper's
+// concluding remarks.
+//
+// Deprecated: use Engine.Run with scheme "scheme2en", WithGamma, WithStageK.
+func SimulateScheme2EN(g *Graph, spec AlgorithmSpec, gamma, enK int, seed uint64, cfg RunConfig) (*SimulationResult, error) {
+	if err := checkConfig(cfg); err != nil {
+		return nil, err
+	}
+	eng := NewEngine(append(optionsFromConfig(cfg, seed), WithGamma(gamma), WithStageK(enK))...)
+	return eng.Run(context.Background(), "scheme2en", g, spec)
+}

@@ -1,0 +1,94 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Engine executes simulations under one fixed, validated configuration. It
+// is cheap to construct, immutable after construction, and safe for
+// concurrent use by multiple goroutines (each Run gets its own copy of the
+// options — but registered Observer instances are shared across Runs, so a
+// stateful observer on a concurrently-used engine must be thread-safe; see
+// Observer).
+//
+//	eng := repro.NewEngine(
+//		repro.WithSeed(42),
+//		repro.WithConcurrency(-1),
+//		repro.WithGamma(2),
+//	)
+//	res, err := eng.Run(ctx, "scheme2en", g, repro.MIS(repro.MISRounds(n)))
+type Engine struct {
+	opts Options
+}
+
+// NewEngine builds an engine from functional options (see the With*
+// functions). Unset options fall back to the paper's canonical defaults.
+func NewEngine(opts ...Option) *Engine {
+	return &Engine{opts: newOptions(opts)}
+}
+
+// Options returns a copy of the engine's resolved options.
+func (e *Engine) Options() Options {
+	o := e.opts
+	o.Observers = append([]Observer(nil), e.opts.Observers...)
+	return o
+}
+
+// Run looks up the named scheme in the registry, validates the engine's
+// options against it, and executes it on g.
+func (e *Engine) Run(ctx context.Context, scheme string, g *Graph, spec AlgorithmSpec) (*SimulationResult, error) {
+	s, err := Lookup(scheme)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunScheme(ctx, s, g, spec)
+}
+
+// RunScheme executes an already-resolved scheme on g.
+func (e *Engine) RunScheme(ctx context.Context, s Scheme, g *Graph, spec AlgorithmSpec) (*SimulationResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s == nil {
+		return nil, fmt.Errorf("repro: nil scheme")
+	}
+	if g == nil {
+		return nil, fmt.Errorf("repro: nil graph")
+	}
+	o := e.Options() // private copy: schemes may not mutate engine state
+	if err := s.Validate(&o); err != nil {
+		return nil, fmt.Errorf("repro: scheme %s: %w", s.Name(), err)
+	}
+	return s.Run(ctx, g, spec, &o)
+}
+
+// BuildSpanner runs the distributed algorithm Sampler (the paper's
+// Section 5) on the connected simple graph g under the engine's options and
+// returns the spanner with its cost ledger. Parameters come from
+// WithSpannerParams, defaulting to the paper's K=2, H=4. Observers see the
+// construction as phase "sampler"; cancelling ctx aborts it mid-round.
+func (e *Engine) BuildSpanner(ctx context.Context, g *Graph) (*Spanner, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := e.Options()
+	if err := o.validate(); err != nil {
+		return nil, fmt.Errorf("repro: BuildSpanner: %w", err)
+	}
+	hooks := o.hooks()
+	res, err := core.BuildDistributedCtx(ctx, g, o.buildSpannerParams(), o.Seed,
+		hooks.RoundConfig(o.localConfig(), "sampler"))
+	if err != nil {
+		return nil, err
+	}
+	hooks.PhaseDone(PhaseCost{Name: "sampler", Rounds: res.Run.Rounds, Messages: res.Run.Messages})
+	return &Spanner{
+		Edges:        res.S,
+		StretchBound: res.StretchBound(),
+		Rounds:       res.Run.Rounds,
+		Messages:     res.Run.Messages,
+	}, nil
+}

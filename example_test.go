@@ -1,9 +1,10 @@
 package repro_test
 
-// Godoc examples for the public facade. Each is deterministic (fixed seeds)
-// so `go test` verifies the printed output.
+// Godoc examples for the public Engine/Scheme facade. Each is
+// deterministic (fixed seeds) so `go test` verifies the printed output.
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -11,11 +12,15 @@ import (
 	"repro/internal/xrand"
 )
 
-// ExampleBuildSpanner builds a spanner with the distributed Sampler and
-// verifies its stretch certificate.
-func ExampleBuildSpanner() {
+// ExampleEngine_BuildSpanner builds a spanner with the distributed Sampler
+// under an option-configured engine and verifies its stretch certificate.
+func ExampleEngine_BuildSpanner() {
 	g := gen.ConnectedGNP(200, 0.1, xrand.New(7))
-	sp, err := repro.BuildSpanner(g, repro.SpannerOptions{K: 2, H: 4, Seed: 42, Distributed: true})
+	eng := repro.NewEngine(
+		repro.WithSeed(42),
+		repro.WithSpannerParams(2, 4, 0),
+	)
+	sp, err := eng.BuildSpanner(context.Background(), g)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -32,18 +37,21 @@ func ExampleBuildSpanner() {
 	// paid messages: true
 }
 
-// ExampleSimulateScheme1 simulates a 3-round algorithm through the paper's
-// message-reduction scheme and checks fidelity against direct execution.
-func ExampleSimulateScheme1() {
+// ExampleEngine_Run simulates a 3-round algorithm through the paper's first
+// message-reduction scheme, addressed by its registry name, and checks
+// fidelity against direct execution.
+func ExampleEngine_Run() {
 	g := gen.ConnectedGNP(80, 0.1, xrand.New(3))
 	spec := repro.MaxID(3)
+	ctx := context.Background()
+	eng := repro.NewEngine(repro.WithSeed(9), repro.WithGamma(1))
 
-	direct, err := repro.RunDirect(g, spec, 9, repro.RunConfig{})
+	direct, err := eng.Run(ctx, "direct", g, spec)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	sim, err := repro.SimulateScheme1(g, spec, 1, 9, repro.RunConfig{})
+	sim, err := eng.Run(ctx, "scheme1", g, spec)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -59,4 +67,52 @@ func ExampleSimulateScheme1() {
 	// Output:
 	// outputs identical: true
 	// pipeline phases: 2
+}
+
+// ExampleLookup resolves a scheme from the registry — here the Elkin–Neiman
+// two-stage pipeline — and runs it with an observer streaming the phase
+// ledger as it completes.
+func ExampleLookup() {
+	g := gen.ConnectedGNP(60, 0.12, xrand.New(5))
+	scheme, err := repro.Lookup("scheme2en")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("scheme:", scheme.Name())
+
+	eng := repro.NewEngine(
+		repro.WithSeed(15),
+		repro.WithGamma(1),
+		repro.WithStageK(2),
+		repro.WithObserver(repro.ObserverFuncs{
+			OnPhase: func(c repro.PhaseCost) { fmt.Println("phase done:", c.Name) },
+		}),
+	)
+	res, err := eng.RunScheme(context.Background(), scheme, g, repro.MaxID(2))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("stretch of carrier spanner:", res.StretchUsed)
+	// Output:
+	// scheme: scheme2en
+	// phase done: sampler
+	// phase done: simulate-en
+	// phase done: collect
+	// stretch of carrier spanner: 3
+}
+
+// ExampleSchemes enumerates the registry — the same loop drivers and
+// benchmarks use, so new schemes show up everywhere without new call sites.
+func ExampleSchemes() {
+	for _, s := range repro.Schemes() {
+		fmt.Println(s.Name())
+	}
+	// Output:
+	// direct
+	// gossip
+	// scheme1
+	// scheme2
+	// scheme2en
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 
 func main() {
 	const tr, seed = 3, 5
+	ctx := context.Background()
 	for _, tc := range []struct {
 		name string
 		g    *graph.Graph
@@ -30,7 +32,7 @@ func main() {
 		fmt.Printf("== %s: n=%d m=%d, t=%d\n", tc.name, g.NumNodes(), g.NumEdges(), tr)
 
 		// Direct flooding on G.
-		direct, err := simulate.DirectBroadcastCost(g, tr, seed, local.Config{Concurrent: true})
+		direct, err := simulate.DirectBroadcastCost(ctx, g, tr, seed, local.Config{Concurrent: true})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +42,7 @@ func main() {
 		// per-use cost).
 		p := core.Default(2, 8)
 		p.C = 0.5
-		sp, err := core.BuildDistributed(g, p, seed, local.Config{Concurrent: true})
+		sp, err := core.BuildDistributedCtx(ctx, g, p, seed, local.Config{Concurrent: true})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +50,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		coll, err := simulate.Collect(g, h, sp.StretchBound()*tr, seed, local.Config{Concurrent: true})
+		coll, err := simulate.Collect(ctx, g, h, sp.StretchBound()*tr, seed, local.Config{Concurrent: true})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -57,7 +59,7 @@ func main() {
 
 		// Gossip until every t-ball is covered (generous fixed budget; the
 		// cover round is detected post hoc).
-		_, cover, gmsgs, err := simulate.GossipCollect(g, tr, 2000, seed, local.Config{Concurrent: true})
+		_, cover, gmsgs, err := simulate.GossipCollect(ctx, g, tr, 2000, seed, local.Config{Concurrent: true})
 		if err != nil {
 			log.Fatal(err)
 		}

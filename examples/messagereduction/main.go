@@ -1,6 +1,7 @@
 // Message reduction end to end: run t-round LOCAL algorithms on a dense
-// graph directly, then again through the paper's scheme 1, and confirm that
-// the simulation produces identical outputs node for node.
+// graph directly, then again through the paper's scheme 1 (addressed by its
+// registry name), and confirm that the simulation produces identical
+// outputs node for node.
 //
 // Two workloads bracket the claim honestly:
 //
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,21 +27,27 @@ import (
 
 func main() {
 	const n, seed = 300, 11
+	ctx := context.Background()
 	g := gen.Complete(n)
 	fmt.Printf("graph: K_%d (n=%d, m=%d)\n\n", n, g.NumNodes(), g.NumEdges())
 
+	eng := repro.NewEngine(
+		repro.WithSeed(seed),
+		repro.WithConcurrency(-1),
+		repro.WithGamma(2),
+	)
 	for _, spec := range []repro.AlgorithmSpec{
 		repro.MaxID(4),
 		repro.MIS(repro.MISRounds(n)),
 	} {
 		fmt.Printf("== %s (t=%d)\n", spec.Name, spec.T)
-		direct, err := repro.RunDirect(g, spec, seed, repro.RunConfig{Concurrent: true})
+		direct, err := eng.Run(ctx, "direct", g, spec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("   direct:  %8d messages  %5d rounds\n", direct.Messages, direct.Rounds)
 
-		sim, err := repro.SimulateScheme1(g, spec, 2, seed, repro.RunConfig{Concurrent: true})
+		sim, err := eng.Run(ctx, "scheme1", g, spec)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,8 +1,9 @@
 // Quickstart: build a constant-stretch spanner with algorithm Sampler and
-// verify it, in a dozen lines of the public API.
+// verify it, in a dozen lines of the public Engine API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,11 +17,14 @@ func main() {
 	g := gen.ConnectedGNP(500, 24.0/499, xrand.New(7))
 	fmt.Printf("input graph: n=%d m=%d\n", g.NumNodes(), g.NumEdges())
 
-	// Build the spanner with the distributed protocol (the paper's
-	// Section 5) and inspect its cost.
-	sp, err := repro.BuildSpanner(g, repro.SpannerOptions{
-		K: 2, H: 4, C: 0.5, Seed: 42, Distributed: true,
-	})
+	// An engine configured once via functional options; the spanner build
+	// runs the distributed protocol (the paper's Section 5) under it.
+	eng := repro.NewEngine(
+		repro.WithSeed(42),
+		repro.WithConcurrency(-1),
+		repro.WithSpannerParams(2, 4, 0.5),
+	)
+	sp, err := eng.BuildSpanner(context.Background(), g)
 	if err != nil {
 		log.Fatal(err)
 	}

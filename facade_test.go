@@ -1,0 +1,300 @@
+package repro_test
+
+// Black-box tests of the Engine/Scheme facade: registry behaviour, the
+// fidelity matrix (every scheme × every target algorithm reproduces direct
+// execution bit for bit), observer streaming, and context cancellation in
+// both execution engines.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/graph/gen"
+	"repro/internal/xrand"
+)
+
+func testGraph() *repro.Graph {
+	return gen.ConnectedGNP(40, 0.12, xrand.New(101))
+}
+
+func TestRegistryContents(t *testing.T) {
+	names := repro.SchemeNames()
+	want := []string{"direct", "gossip", "scheme1", "scheme2", "scheme2en"}
+	if len(names) < len(want) {
+		t.Fatalf("registry has %v, want at least %v", names, want)
+	}
+	for _, w := range want {
+		s, err := repro.Lookup(w)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", w, err)
+		}
+		if s.Name() != w {
+			t.Fatalf("Lookup(%q) returned scheme %q", w, s.Name())
+		}
+		if s.Description() == "" {
+			t.Fatalf("scheme %q has no description", w)
+		}
+	}
+	if _, err := repro.Lookup("no-such-scheme"); err == nil {
+		t.Fatal("Lookup accepted an unknown scheme")
+	}
+}
+
+func TestRegisterSchemeRejectsDuplicates(t *testing.T) {
+	if err := repro.RegisterScheme(nil); err == nil {
+		t.Fatal("nil scheme accepted")
+	}
+	direct, err := repro.Lookup("direct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.RegisterScheme(direct); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+// TestSchemesMatchDirect is the fidelity matrix: every registered scheme ×
+// every target algorithm family, on a small connected G(n,p), must produce
+// outputs identical to direct execution at the same seed.
+func TestSchemesMatchDirect(t *testing.T) {
+	g := testGraph()
+	n := g.NumNodes()
+	const seed = 7
+	algs := []struct {
+		name string
+		spec repro.AlgorithmSpec
+	}{
+		{"maxid", repro.MaxID(3)},
+		{"mis", repro.MIS(repro.MISRounds(n))},
+		{"coloring", repro.Coloring(repro.ColoringRounds(n))},
+		{"bfs", repro.BFSLayers(0, 3)},
+	}
+	for _, concurrency := range []int{0, -1} {
+		eng := repro.NewEngine(
+			repro.WithSeed(seed),
+			repro.WithConcurrency(concurrency),
+			repro.WithMaxRounds(1500), // gossip budget; other schemes self-schedule
+		)
+		for _, alg := range algs {
+			direct, err := eng.Run(context.Background(), "direct", g, alg.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range repro.Schemes() {
+				t.Run(fmt.Sprintf("conc=%d/%s/%s", concurrency, s.Name(), alg.name), func(t *testing.T) {
+					res, err := eng.RunScheme(context.Background(), s, g, alg.spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Scheme != s.Name() {
+						t.Fatalf("result labeled %q, want %q", res.Scheme, s.Name())
+					}
+					for v := range direct.Outputs {
+						if res.Outputs[v] != direct.Outputs[v] {
+							t.Fatalf("node %d: %s produced %v, direct %v",
+								v, s.Name(), res.Outputs[v], direct.Outputs[v])
+						}
+					}
+					if len(res.Phases) == 0 {
+						t.Fatal("no phase ledger")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDeprecatedWrappersMatchEngine pins the compatibility contract: the
+// old entry points are wrappers over the Engine and must produce identical
+// outputs at the same seed.
+func TestDeprecatedWrappersMatchEngine(t *testing.T) {
+	g := testGraph()
+	spec := repro.MaxID(3)
+	const seed, gamma, stageK = 9, 1, 2
+	eng := repro.NewEngine(repro.WithSeed(seed), repro.WithGamma(gamma), repro.WithStageK(stageK))
+
+	old, err := repro.SimulateScheme1(g, spec, gamma, seed, repro.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := eng.Run(context.Background(), "scheme1", g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Rounds != cur.Rounds || old.Messages != cur.Messages {
+		t.Fatalf("wrapper cost (%d rounds, %d msgs) != engine cost (%d, %d)",
+			old.Rounds, old.Messages, cur.Rounds, cur.Messages)
+	}
+	for v := range cur.Outputs {
+		if old.Outputs[v] != cur.Outputs[v] {
+			t.Fatalf("node %d: wrapper %v != engine %v", v, old.Outputs[v], cur.Outputs[v])
+		}
+	}
+
+	old2, err := repro.SimulateScheme2EN(g, spec, gamma, stageK, seed, repro.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur2, err := eng.Run(context.Background(), "scheme2en", g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old2.Messages != cur2.Messages {
+		t.Fatalf("scheme2en wrapper msgs %d != engine %d", old2.Messages, cur2.Messages)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	g := testGraph()
+	spec := repro.MaxID(2)
+	if _, err := repro.NewEngine(repro.WithGamma(0)).Run(context.Background(), "scheme1", g, spec); err == nil {
+		t.Fatal("gamma 0 accepted by scheme1")
+	}
+	if _, err := repro.NewEngine(repro.WithStageK(0)).Run(context.Background(), "scheme2", g, spec); err == nil {
+		t.Fatal("stage k 0 accepted by scheme2")
+	}
+	if _, err := repro.NewEngine(repro.WithLogNSlack(0.5)).Run(context.Background(), "direct", g, spec); err == nil {
+		t.Fatal("LogNSlack < 1 accepted")
+	}
+	if _, err := repro.NewEngine().Run(context.Background(), "nope", g, spec); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := repro.NewEngine().Run(context.Background(), "direct", nil, spec); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	// Replay internals have no option equivalent; the deprecated wrappers
+	// must reject them rather than silently drop them.
+	if _, err := repro.RunDirect(g, spec, 1, repro.RunConfig{NOverride: 5}); err == nil {
+		t.Fatal("NOverride accepted by deprecated wrapper")
+	}
+	if _, err := repro.SimulateScheme1(g, spec, 1, 1, repro.RunConfig{IDMap: make([]repro.NodeID, g.NumNodes())}); err == nil {
+		t.Fatal("IDMap accepted by deprecated wrapper")
+	}
+}
+
+// TestObserverStreamsPhases checks that observers see every phase with the
+// same ledger the result reports, in order.
+func TestObserverStreamsPhases(t *testing.T) {
+	g := testGraph()
+	var seen []repro.PhaseCost
+	var rounds int
+	eng := repro.NewEngine(
+		repro.WithSeed(3),
+		repro.WithObserver(repro.ObserverFuncs{
+			OnRound: func(phase string, round int, messages int64) { rounds++ },
+			OnPhase: func(c repro.PhaseCost) { seen = append(seen, c) },
+		}),
+	)
+	res, err := eng.Run(context.Background(), "scheme2en", g, repro.MaxID(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(res.Phases) {
+		t.Fatalf("observer saw %d phases, result has %d", len(seen), len(res.Phases))
+	}
+	for i := range seen {
+		if seen[i] != res.Phases[i] {
+			t.Fatalf("phase %d: observed %+v != reported %+v", i, seen[i], res.Phases[i])
+		}
+	}
+	if rounds != res.Rounds {
+		t.Fatalf("observer counted %d rounds, result reports %d", rounds, res.Rounds)
+	}
+}
+
+// cancelAfterRounds is an observer that cancels a context once the pipeline
+// has completed a given number of rounds.
+type cancelAfterRounds struct {
+	cancel context.CancelFunc
+	left   int
+}
+
+func (c *cancelAfterRounds) RoundCompleted(string, int, int64) {
+	c.left--
+	if c.left == 0 {
+		c.cancel()
+	}
+}
+func (c *cancelAfterRounds) PhaseCompleted(repro.PhaseCost) {}
+
+// TestCancellationStopsRun aborts a long direct run after two rounds, in
+// both the sequential and the concurrent engine, and checks the run stops
+// promptly (well before its round budget) without deadlock.
+func TestCancellationStopsRun(t *testing.T) {
+	g := gen.ConnectedGNP(200, 0.05, xrand.New(5))
+	spec := repro.MaxID(50) // 51-round budget: plenty left to cut short
+	for _, concurrency := range []int{0, -1} {
+		t.Run(fmt.Sprintf("conc=%d", concurrency), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			obs := &cancelAfterRounds{cancel: cancel, left: 2}
+			eng := repro.NewEngine(
+				repro.WithSeed(1),
+				repro.WithConcurrency(concurrency),
+				repro.WithObserver(obs),
+			)
+			done := make(chan error, 1)
+			go func() {
+				_, err := eng.Run(ctx, "direct", g, spec)
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("got %v, want context.Canceled", err)
+				}
+				if obs.left > 0 {
+					t.Fatalf("run returned before the observer cancelled (%d rounds left)", obs.left)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("cancelled run did not return: deadlock")
+			}
+		})
+	}
+}
+
+// TestCancellationMidPipeline cancels during a scheme pipeline (the sampler
+// phase of scheme1) and checks the whole pipeline unwinds with the context
+// error in both engines.
+func TestCancellationMidPipeline(t *testing.T) {
+	g := gen.ConnectedGNP(150, 0.08, xrand.New(6))
+	for _, concurrency := range []int{0, -1} {
+		t.Run(fmt.Sprintf("conc=%d", concurrency), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			obs := &cancelAfterRounds{cancel: cancel, left: 3}
+			eng := repro.NewEngine(
+				repro.WithSeed(2),
+				repro.WithConcurrency(concurrency),
+				repro.WithGamma(1),
+				repro.WithObserver(obs),
+			)
+			_, err := eng.Run(ctx, "scheme1", g, repro.MaxID(4))
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("got %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestPreCancelledContext checks that an already-cancelled context stops a
+// run before any round executes.
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rounds := 0
+	eng := repro.NewEngine(repro.WithObserver(repro.ObserverFuncs{
+		OnRound: func(string, int, int64) { rounds++ },
+	}))
+	_, err := eng.Run(ctx, "direct", testGraph(), repro.MaxID(3))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if rounds != 0 {
+		t.Fatalf("%d rounds ran under a cancelled context", rounds)
+	}
+}

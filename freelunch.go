@@ -7,27 +7,45 @@
 // construction with constant stretch, near-linear size, and o(m) message
 // complexity in the LOCAL model with unique edge IDs.
 //
-// This package is the facade over the implementation:
+// # The Engine/Scheme API
 //
-//   - BuildSpanner runs algorithm Sampler (centralized reference or the
-//     full distributed protocol under the bundled LOCAL simulator);
-//   - SimulateScheme1 / SimulateScheme2 run the paper's two
-//     message-reduction schemes end to end on a target algorithm;
-//   - RunDirect executes a target algorithm directly (the ground truth and
-//     the Θ(t·m)-message baseline).
+// The facade is organized around two abstractions:
+//
+//   - A Scheme is one execution strategy for a t-round algorithm. Schemes
+//     live in a registry keyed by name — Lookup, Schemes, RegisterScheme —
+//     and the built-ins cover the paper and its baselines: "direct" (ground
+//     truth, Θ(t·m) messages), "scheme1" (Theorem 3's first trade-off),
+//     "scheme2" (the two-stage trade-off with Baswana–Sen), "scheme2en"
+//     (the Elkin–Neiman stage anticipated by the paper's concluding
+//     remarks), and "gossip" (the push–pull baseline family). Every scheme
+//     produces outputs bit-identical to "direct" at the same seed.
+//
+//   - An Engine holds one validated configuration, built from functional
+//     options (WithSeed, WithConcurrency, WithGamma, WithStageK,
+//     WithSpannerParams, WithObserver, ...), and runs schemes under it:
+//
+//     eng := repro.NewEngine(repro.WithSeed(42), repro.WithGamma(2))
+//     res, err := eng.Run(ctx, "scheme2en", g, repro.MaxID(4))
+//
+// Runs take a context.Context and stop within one node step's work when it
+// is cancelled, in both the sequential and the concurrent engine. Observers
+// registered with WithObserver stream round- and phase-completion events
+// while a simulation is in flight.
 //
 // Graph construction, generators, target algorithms, and the LOCAL runtime
 // live in the internal packages (internal/graph, internal/graph/gen,
 // internal/algorithms, internal/local); the most useful types are aliased
 // here so typical use needs only this package plus the generators.
+//
+// The pre-registry entry points (BuildSpanner, RunDirect, SimulateScheme1,
+// SimulateScheme2, SimulateScheme2EN) remain as deprecated wrappers over
+// the Engine and produce identical outputs at the same seed.
 package repro
 
 import (
 	"repro/internal/algorithms"
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/local"
-	"repro/internal/simulate"
 )
 
 // Aliases for the types a typical caller touches.
@@ -40,48 +58,14 @@ type (
 	EdgeID = graph.EdgeID
 	// AlgorithmSpec describes a t-round LOCAL algorithm to simulate.
 	AlgorithmSpec = algorithms.Spec
-	// RunConfig configures the LOCAL simulator (engine choice, KT1, ...).
+	// RunConfig configures the LOCAL simulator directly. New code should
+	// prefer an Engine with functional options; RunConfig remains for the
+	// deprecated entry points.
 	RunConfig = local.Config
 )
 
 // NewGraph returns an empty graph on n nodes.
 func NewGraph(n int) *Graph { return graph.New(n) }
-
-// SpannerOptions configures BuildSpanner.
-type SpannerOptions struct {
-	// K is the hierarchy depth (stretch bound 2·3^K − 1, size exponent
-	// 1 + 1/(2^{K+1}−1)). Default 2.
-	K int
-	// H is the trial parameter (message exponent surplus 1/H; round factor
-	// H). Default 4.
-	H int
-	// C scales the whp thresholds. Default 1; experiments at n below a few
-	// thousand often use 0.5.
-	C float64
-	// Seed drives all randomness.
-	Seed uint64
-	// Distributed selects the full LOCAL-model protocol (Section 5 of the
-	// paper) instead of the centralized reference implementation; the
-	// result then carries round and message costs.
-	Distributed bool
-	// Run configures the simulator in distributed mode.
-	Run RunConfig
-}
-
-func (o SpannerOptions) params() core.Params {
-	k, h := o.K, o.H
-	if k == 0 {
-		k = 2
-	}
-	if h == 0 {
-		h = 4
-	}
-	p := core.Default(k, h)
-	if o.C != 0 {
-		p.C = o.C
-	}
-	return p
-}
 
 // Spanner is a constructed spanner with its certificate and cost.
 type Spanner struct {
@@ -110,28 +94,6 @@ func (s *Spanner) Verify(g *Graph) (int, error) {
 	return rep.MaxEdgeStretch, nil
 }
 
-// BuildSpanner runs algorithm Sampler on the connected simple graph g.
-func BuildSpanner(g *Graph, opts SpannerOptions) (*Spanner, error) {
-	p := opts.params()
-	if opts.Distributed {
-		res, err := core.BuildDistributed(g, p, opts.Seed, opts.Run)
-		if err != nil {
-			return nil, err
-		}
-		return &Spanner{
-			Edges:        res.S,
-			StretchBound: res.StretchBound(),
-			Rounds:       res.Run.Rounds,
-			Messages:     res.Run.Messages,
-		}, nil
-	}
-	res, err := core.Build(g, p, opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-	return &Spanner{Edges: res.S, StretchBound: res.StretchBound()}, nil
-}
-
 // Target algorithm constructors, re-exported for convenience.
 var (
 	// MaxID is the t-hop maximum-identity algorithm (exact oracle: BFS).
@@ -150,72 +112,18 @@ var (
 
 // SimulationResult is the outcome of a simulated (or direct) execution.
 type SimulationResult struct {
+	// Scheme names the scheme that produced this result.
+	Scheme string
 	// Outputs holds each node's output, index = node.
 	Outputs []any
-	// Rounds and Messages are the total execution costs.
+	// Rounds and Messages are the total execution costs. For gossip runs
+	// they are the cover round and the messages spent by it.
 	Rounds   int
 	Messages int64
-	// Phases itemizes the pipeline (spanner construction, collections) for
-	// the simulation schemes; nil for direct runs.
-	Phases []simulate.PhaseCost
-}
-
-// RunDirect executes the algorithm directly on g: the ground truth and the
-// Θ(t·m)-message baseline.
-func RunDirect(g *Graph, spec AlgorithmSpec, seed uint64, cfg RunConfig) (*SimulationResult, error) {
-	outs, run, err := simulate.Direct(g, spec, seed, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &SimulationResult{Outputs: outs, Rounds: run.Rounds, Messages: run.Messages}, nil
-}
-
-// SimulateScheme1 simulates spec on g with the paper's first
-// message-reduction scheme (Theorem 3): a Sampler spanner with parameter
-// gamma carries a stretch·t-round collection of every node's initial
-// knowledge; outputs are recovered by local replay and match RunDirect's
-// exactly (same seed).
-func SimulateScheme1(g *Graph, spec AlgorithmSpec, gamma int, seed uint64, cfg RunConfig) (*SimulationResult, error) {
-	res, err := simulate.Scheme1(g, spec, simulate.Scheme1Params(gamma), seed, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return schemeResult(res, spec)
-}
-
-// SimulateScheme2 simulates spec with the paper's two-stage scheme: the
-// Sampler spanner first simulates an off-the-shelf spanner construction
-// (Baswana–Sen with stretch 2·bsK−1), whose output carries the final
-// collection.
-func SimulateScheme2(g *Graph, spec AlgorithmSpec, gamma, bsK int, seed uint64, cfg RunConfig) (*SimulationResult, error) {
-	res, err := simulate.Scheme2(g, spec, simulate.Scheme1Params(gamma), bsK, seed, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return schemeResult(res, spec)
-}
-
-// SimulateScheme2EN is SimulateScheme2 with the Elkin–Neiman construction
-// as the simulated stage (stretch 2·enK−1 in enK+O(1) rounds instead of
-// Baswana–Sen's O(enK²)) — the improvement anticipated by the paper's
-// concluding remarks.
-func SimulateScheme2EN(g *Graph, spec AlgorithmSpec, gamma, enK int, seed uint64, cfg RunConfig) (*SimulationResult, error) {
-	res, err := simulate.Scheme2With(g, spec, simulate.Scheme1Params(gamma), simulate.ElkinNeimanStage2(enK), seed, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return schemeResult(res, spec)
-}
-
-func schemeResult(res *simulate.SchemeResult, spec AlgorithmSpec) (*SimulationResult, error) {
-	outs, err := res.Coll.ReplayAll(spec)
-	if err != nil {
-		return nil, err
-	}
-	return &SimulationResult{
-		Outputs:  outs,
-		Rounds:   res.TotalRounds(),
-		Messages: res.TotalMessages(),
-		Phases:   res.Phases,
-	}, nil
+	// Phases itemizes the pipeline stages in execution order.
+	Phases []PhaseCost
+	// StretchUsed and SpannerEdges describe the spanner that carried the
+	// final collection (zero for direct and gossip runs).
+	StretchUsed  int
+	SpannerEdges int
 }

@@ -13,6 +13,7 @@
 package broadcast
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -78,8 +79,8 @@ func (p *floodNode) Step(env *local.Env, round int, inbox []local.Message) {
 // Flood floods each node's rumor (payloads[v], which may be nil) over host
 // for exactly rounds rounds. After the run, node v knows the rumor of every
 // node within host-distance rounds of v, with Arrival equal to that
-// distance.
-func Flood(host *graph.Graph, payloads []any, rounds int, cfg local.Config) (*Result, error) {
+// distance. Cancelling ctx aborts the underlying run.
+func Flood(ctx context.Context, host *graph.Graph, payloads []any, rounds int, cfg local.Config) (*Result, error) {
 	if host == nil {
 		return nil, fmt.Errorf("broadcast: nil host graph")
 	}
@@ -91,7 +92,7 @@ func Flood(host *graph.Graph, payloads []any, rounds int, cfg local.Config) (*Re
 	}
 	nodes := make([]*floodNode, host.NumNodes())
 	cfg.MaxRounds = rounds + 1
-	run, err := local.Run(host, func(v graph.NodeID) local.Protocol {
+	run, err := local.RunCtx(ctx, host, func(v graph.NodeID) local.Protocol {
 		nd := &floodNode{t: rounds, self: payloads[v]}
 		nodes[v] = nd
 		return nd
@@ -167,7 +168,8 @@ func (p *gossipNode) snapshot() []rumor {
 // Gossip runs push–pull gossip on host for exactly rounds rounds (choose a
 // generous budget and use CoverRound to find when coverage was actually
 // achieved). Message complexity is at most 2n per round by construction.
-func Gossip(host *graph.Graph, payloads []any, rounds int, cfg local.Config) (*Result, error) {
+// Cancelling ctx aborts the underlying run.
+func Gossip(ctx context.Context, host *graph.Graph, payloads []any, rounds int, cfg local.Config) (*Result, error) {
 	if host == nil {
 		return nil, fmt.Errorf("broadcast: nil host graph")
 	}
@@ -176,7 +178,7 @@ func Gossip(host *graph.Graph, payloads []any, rounds int, cfg local.Config) (*R
 	}
 	nodes := make([]*gossipNode, host.NumNodes())
 	cfg.MaxRounds = rounds + 1
-	run, err := local.Run(host, func(v graph.NodeID) local.Protocol {
+	run, err := local.RunCtx(ctx, host, func(v graph.NodeID) local.Protocol {
 		nd := &gossipNode{t: rounds}
 		nodes[v] = nd
 		return nd

@@ -1,6 +1,7 @@
 package broadcast
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -21,7 +22,7 @@ func mkPayloads(n int) []any {
 func TestFloodExactBalls(t *testing.T) {
 	g := gen.ConnectedGNP(120, 0.04, xrand.New(1))
 	for _, tRounds := range []int{0, 1, 3} {
-		res, err := Flood(g, mkPayloads(g.NumNodes()), tRounds, local.Config{Seed: 2})
+		res, err := Flood(context.Background(), g, mkPayloads(g.NumNodes()), tRounds, local.Config{Seed: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,7 +50,7 @@ func TestFloodMessageCost(t *testing.T) {
 	// (round 0 sends on every half-edge... each node sends its own rumor).
 	g := gen.Grid(8, 8)
 	const tr = 4
-	res, err := Flood(g, mkPayloads(g.NumNodes()), tr, local.Config{})
+	res, err := Flood(context.Background(), g, mkPayloads(g.NumNodes()), tr, local.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestFloodOnSpannerCoversBalls(t *testing.T) {
 		t.Fatal(err)
 	}
 	const tr = 2
-	res, err := Flood(h, mkPayloads(g.NumNodes()), sp.StretchBound()*tr, local.Config{})
+	res, err := Flood(context.Background(), h, mkPayloads(g.NumNodes()), sp.StretchBound()*tr, local.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFloodOnSpannerCoversBalls(t *testing.T) {
 	}
 	// And it should cost far fewer messages than flooding g directly when g
 	// is dense relative to the spanner.
-	direct, err := Flood(g, mkPayloads(g.NumNodes()), tr, local.Config{})
+	direct, err := Flood(context.Background(), g, mkPayloads(g.NumNodes()), tr, local.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,14 +97,14 @@ func TestFloodOnSpannerCoversBalls(t *testing.T) {
 }
 
 func TestFloodValidation(t *testing.T) {
-	if _, err := Flood(nil, nil, 1, local.Config{}); err == nil {
+	if _, err := Flood(context.Background(), nil, nil, 1, local.Config{}); err == nil {
 		t.Fatal("nil host accepted")
 	}
 	g := gen.Path(3)
-	if _, err := Flood(g, make([]any, 2), 1, local.Config{}); err == nil {
+	if _, err := Flood(context.Background(), g, make([]any, 2), 1, local.Config{}); err == nil {
 		t.Fatal("short payloads accepted")
 	}
-	if _, err := Flood(g, make([]any, 3), -1, local.Config{}); err == nil {
+	if _, err := Flood(context.Background(), g, make([]any, 3), -1, local.Config{}); err == nil {
 		t.Fatal("negative rounds accepted")
 	}
 }
@@ -111,7 +112,7 @@ func TestFloodValidation(t *testing.T) {
 func TestGossipEventuallyCovers(t *testing.T) {
 	g := gen.ConnectedGNP(60, 0.15, xrand.New(4))
 	const tr = 2
-	res, err := Gossip(g, mkPayloads(g.NumNodes()), 400, local.Config{Seed: 9})
+	res, err := Gossip(context.Background(), g, mkPayloads(g.NumNodes()), 400, local.Config{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestGossipEventuallyCovers(t *testing.T) {
 
 func TestGossipMessagesPerRoundBounded(t *testing.T) {
 	g := gen.ConnectedGNP(80, 0.1, xrand.New(5))
-	res, err := Gossip(g, mkPayloads(g.NumNodes()), 50, local.Config{Seed: 11})
+	res, err := Gossip(context.Background(), g, mkPayloads(g.NumNodes()), 50, local.Config{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestGossipSlowOnBarbell(t *testing.T) {
 	// across at ~1 per round. This is the round blow-up the paper removes.
 	g := gen.Barbell(20, 2) // 42 nodes
 	const tr = 3
-	gossip, err := Gossip(g, mkPayloads(g.NumNodes()), 2000, local.Config{Seed: 13})
+	gossip, err := Gossip(context.Background(), g, mkPayloads(g.NumNodes()), 2000, local.Config{Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestGossipSlowOnBarbell(t *testing.T) {
 
 func TestCoverRoundNotCovered(t *testing.T) {
 	g := gen.Path(5)
-	res, err := Gossip(g, mkPayloads(5), 0, local.Config{})
+	res, err := Gossip(context.Background(), g, mkPayloads(5), 0, local.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -66,8 +67,15 @@ type DistResult struct {
 func (r *DistResult) StretchBound() int { return r.Params.StretchBound() }
 
 // BuildDistributed runs the distributed Sampler on g under the LOCAL
-// simulator and returns the spanner with full cost accounting.
+// simulator and returns the spanner with full cost accounting. It is
+// BuildDistributedCtx with an uncancellable context.
 func BuildDistributed(g *graph.Graph, p Params, seed uint64, cfg local.Config) (*DistResult, error) {
+	return BuildDistributedCtx(context.Background(), g, p, seed, cfg)
+}
+
+// BuildDistributedCtx is BuildDistributed with cancellation: cancelling ctx
+// aborts the underlying LOCAL run mid-round.
+func BuildDistributedCtx(ctx context.Context, g *graph.Graph, p Params, seed uint64, cfg local.Config) (*DistResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -89,7 +97,7 @@ func BuildDistributed(g *graph.Graph, p Params, seed uint64, cfg local.Config) (
 	nodes := make([]*distNode, g.NumNodes())
 	cfg.Seed = seed
 	cfg.MaxRounds = sched.total + 1
-	run, err := local.Run(g, func(v graph.NodeID) local.Protocol {
+	run, err := local.RunCtx(ctx, g, func(v graph.NodeID) local.Protocol {
 		nd := &distNode{sched: sched, p: p, id: v}
 		nodes[v] = nd
 		return nd

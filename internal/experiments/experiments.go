@@ -67,6 +67,7 @@ func All() []Experiment {
 		{"E13", E13BitComplexity},
 		{"E14", E14SpannerQuality},
 		{"E15", E15ElkinNeimanStage},
+		{"E16", E16RegistryFidelity},
 	}
 }
 

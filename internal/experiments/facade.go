@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro"
+	"repro/internal/simulate"
+	"repro/internal/stats"
+)
+
+// Progress, when non-nil, receives live pipeline events (per-phase
+// completions) from the experiments that run simulation pipelines.
+// cmd/experiments wires it to its -progress flag; the default (nil) is
+// silent. It is consulted once per phase on the engine's coordinating
+// goroutine.
+var Progress func(format string, args ...any)
+
+// progressHooks labels pipeline events with the experiment that produced
+// them and forwards them to Progress.
+func progressHooks(id string) simulate.Hooks {
+	if Progress == nil {
+		return simulate.Hooks{}
+	}
+	return simulate.Hooks{
+		Phase: func(c simulate.PhaseCost) {
+			Progress("%s: %-12s %6d rounds  %9d messages", id, c.Name, c.Rounds, c.Messages)
+		},
+	}
+}
+
+// E16RegistryFidelity drives the public Engine/Scheme facade: every
+// registered scheme runs the same algorithm at the same seed through the
+// registry, and every node's output must match the direct baseline
+// bit-for-bit (Theorem 3's fidelity guarantee, checked end to end through
+// the API users actually call). Costs are gathered live by an Observer
+// rather than read off the result, exercising the streaming path.
+func E16RegistryFidelity(quick bool) Report {
+	rep := Report{
+		ID:    "E16",
+		Title: "scheme registry fidelity (public facade)",
+		Claim: "every registered scheme reproduces direct execution bit-for-bit at the same seed",
+		Pass:  true,
+	}
+	n := 80
+	if quick {
+		n = 50
+	}
+	g := gnpWithDegree(n, 10, 77)
+	spec := repro.MaxID(3)
+	const seed = 13
+
+	// Observed costs, streamed phase by phase.
+	type obsRow struct {
+		scheme string
+		cost   simulate.PhaseCost
+	}
+	var observed []obsRow
+	current := "direct"
+	obs := repro.ObserverFuncs{
+		OnPhase: func(c repro.PhaseCost) {
+			observed = append(observed, obsRow{scheme: current, cost: c})
+			if Progress != nil {
+				Progress("E16: %s %-12s %6d rounds  %9d messages", current, c.Name, c.Rounds, c.Messages)
+			}
+		},
+	}
+	eng := repro.NewEngine(
+		repro.WithSeed(seed),
+		repro.WithConcurrency(-1),
+		repro.WithGamma(1),
+		repro.WithStageK(2),
+		repro.WithObserver(obs),
+	)
+
+	direct, err := eng.Run(context.Background(), "direct", g, spec)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range repro.Schemes() {
+		if s.Name() == "direct" {
+			continue
+		}
+		current = s.Name()
+		res, err := eng.Run(context.Background(), s.Name(), g, spec)
+		if err != nil {
+			rep.Pass = false
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%s failed: %v", s.Name(), err))
+			continue
+		}
+		mismatches := 0
+		for v := range direct.Outputs {
+			if res.Outputs[v] != direct.Outputs[v] {
+				mismatches++
+			}
+		}
+		if mismatches > 0 {
+			rep.Pass = false
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%s: %d node outputs differ from direct", s.Name(), mismatches))
+		}
+	}
+	var rows [][]string
+	for _, r := range observed {
+		rows = append(rows, []string{r.scheme, r.cost.Name, fmt.Sprint(r.cost.Rounds), fmt.Sprint(r.cost.Messages)})
+	}
+	rep.Table = stats.Table([]string{"scheme", "phase", "rounds", "messages"}, rows)
+	rep.Notes = append(rep.Notes, fmt.Sprintf("%d phase events observed live across %d schemes (incl. the direct baseline)", len(observed), len(repro.Schemes())))
+	if len(observed) == 0 {
+		rep.Pass = false
+		rep.Notes = append(rep.Notes, "observer saw no phase events")
+	}
+	return rep
+}

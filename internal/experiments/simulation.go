@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -156,11 +157,11 @@ func E7Scheme1(quick bool) Report {
 		nDense = 250
 	}
 	dense := gen.Complete(nDense)
-	direct, err := simulate.DirectBroadcastCost(dense, tr, seed, local.Config{Concurrent: true})
+	direct, err := simulate.DirectBroadcastCost(context.Background(), dense, tr, seed, local.Config{Concurrent: true})
 	if err != nil {
 		panic(err)
 	}
-	s1, err := simulate.Scheme1(dense, spec, p, seed, local.Config{Concurrent: true})
+	s1, err := simulate.Scheme1(context.Background(), dense, spec, p, seed, local.Config{Concurrent: true}, progressHooks("E7"))
 	if err != nil {
 		panic(err)
 	}
@@ -172,7 +173,7 @@ func E7Scheme1(quick bool) Report {
 		rep.Notes = append(rep.Notes, "scheme1 failed to beat direct flooding on the dense graph")
 	}
 	// Fidelity spot check.
-	want, _, err := simulate.Direct(dense, spec, seed, local.Config{})
+	want, _, err := simulate.Direct(context.Background(), dense, spec, seed, local.Config{})
 	if err != nil {
 		panic(err)
 	}
@@ -196,11 +197,11 @@ func E7Scheme1(quick bool) Report {
 	var gossipCovers, collectRounds []int
 	for _, n := range sweep {
 		g := gnpWithDegree(n, 12, uint64(n))
-		_, cover, gmsgs, err := simulate.GossipCollect(g, tr, 2000, seed, local.Config{Concurrent: true})
+		_, cover, gmsgs, err := simulate.GossipCollect(context.Background(), g, tr, 2000, seed, local.Config{Concurrent: true})
 		if err != nil {
 			panic(err)
 		}
-		sw, err := simulate.Scheme1(g, spec, p, seed, local.Config{Concurrent: true})
+		sw, err := simulate.Scheme1(context.Background(), g, spec, p, seed, local.Config{Concurrent: true}, progressHooks("E7"))
 		if err != nil {
 			panic(err)
 		}
@@ -229,11 +230,11 @@ func E7Scheme1(quick bool) Report {
 	}
 	bar := gen.Barbell(nB/2, 4)
 	komp := gen.Complete(bar.NumNodes())
-	_, coverBar, _, err := simulate.GossipCollect(bar, tr, 2000, seed, local.Config{Concurrent: true})
+	_, coverBar, _, err := simulate.GossipCollect(context.Background(), bar, tr, 2000, seed, local.Config{Concurrent: true})
 	if err != nil {
 		panic(err)
 	}
-	_, coverK, _, err := simulate.GossipCollect(komp, tr, 2000, seed, local.Config{Concurrent: true})
+	_, coverK, _, err := simulate.GossipCollect(context.Background(), komp, tr, 2000, seed, local.Config{Concurrent: true})
 	if err != nil {
 		panic(err)
 	}
@@ -269,11 +270,11 @@ func E8TwoStage(quick bool) Report {
 	const tr, bsK = 4, 2
 	seed := uint64(41)
 	spec := algorithms.MaxID(tr)
-	s2, err := simulate.Scheme2(g, spec, simulate.Scheme1Params(1), bsK, seed, local.Config{Concurrent: true})
+	s2, err := simulate.Scheme2(context.Background(), g, spec, simulate.Scheme1Params(1), bsK, seed, local.Config{Concurrent: true}, progressHooks("E8"))
 	if err != nil {
 		panic(err)
 	}
-	s1, err := simulate.Scheme1(g, spec, simulate.Scheme1Params(1), seed, local.Config{Concurrent: true})
+	s1, err := simulate.Scheme1(context.Background(), g, spec, simulate.Scheme1Params(1), seed, local.Config{Concurrent: true}, progressHooks("E8"))
 	if err != nil {
 		panic(err)
 	}
@@ -301,7 +302,7 @@ func E8TwoStage(quick bool) Report {
 		"final collection floods %d rounds (α'=%d) instead of %d (α=%d): stretch improvement pays off for every future t",
 		s2.StretchUsed*tr, s2.StretchUsed, s1.StretchUsed*tr, s1.StretchUsed))
 	// Fidelity spot check.
-	want, _, err := simulate.Direct(g, spec, seed, local.Config{})
+	want, _, err := simulate.Direct(context.Background(), g, spec, seed, local.Config{})
 	if err != nil {
 		panic(err)
 	}
@@ -640,11 +641,11 @@ func E15ElkinNeimanStage(quick bool) Report {
 	spec := algorithms.MaxID(tr)
 	p := simulate.Scheme1Params(1)
 
-	bs, err := simulate.Scheme2With(g, spec, p, simulate.BaswanaSenStage2(k2), seed, local.Config{Concurrent: true})
+	bs, err := simulate.Scheme2With(context.Background(), g, spec, p, simulate.BaswanaSenStage2(k2), seed, local.Config{Concurrent: true}, progressHooks("E15"))
 	if err != nil {
 		panic(err)
 	}
-	en, err := simulate.Scheme2With(g, spec, p, simulate.ElkinNeimanStage2(k2), seed, local.Config{Concurrent: true})
+	en, err := simulate.Scheme2With(context.Background(), g, spec, p, simulate.ElkinNeimanStage2(k2), seed, local.Config{Concurrent: true}, progressHooks("E15"))
 	if err != nil {
 		panic(err)
 	}
@@ -672,7 +673,7 @@ func E15ElkinNeimanStage(quick bool) Report {
 			en.Phases[1].Rounds, bs.Phases[1].Rounds, spanner.ENRounds(k2), spanner.BSRounds(k2)))
 	}
 	// Fidelity spot check for the EN pipeline.
-	want, _, err := simulate.Direct(g, spec, seed, local.Config{})
+	want, _, err := simulate.Direct(context.Background(), g, spec, seed, local.Config{})
 	if err != nil {
 		panic(err)
 	}

@@ -21,6 +21,7 @@
 package local
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -103,6 +104,11 @@ type Config struct {
 	// for Env.LogN (again for ball replays, where the subgraph is smaller
 	// than the original network).
 	NOverride int
+	// OnRound, if non-nil, is invoked after every completed round with the
+	// round index and the number of messages sent in it. It runs on the
+	// engine's coordinating goroutine (never concurrently with itself) and
+	// must not call back into the run.
+	OnRound func(round int, messages int64)
 }
 
 // DefaultMaxRounds bounds runaway protocols.
@@ -222,6 +228,7 @@ type run struct {
 	g    *graph.Graph
 	cfg  Config
 	logN float64
+	done <-chan struct{} // cancellation signal; nil when uncancellable
 
 	envs   []*Env
 	protos []Protocol
@@ -229,10 +236,24 @@ type run struct {
 }
 
 // Run executes the protocol built by f on g under cfg and returns the cost
-// metrics. It returns an error only for configuration mistakes; protocol
-// panics propagate (a deliberate choice: a protocol bug in a simulation is a
-// programming error, not an operational condition).
+// metrics. It is RunCtx with an uncancellable context.
 func Run(g *graph.Graph, f Factory, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), g, f, cfg)
+}
+
+// RunCtx executes the protocol built by f on g under cfg and returns the
+// cost metrics. It returns an error only for configuration mistakes or
+// context cancellation; protocol panics propagate (a deliberate choice: a
+// protocol bug in a simulation is a programming error, not an operational
+// condition).
+//
+// Cancellation is checked between node steps in both engines, so a run
+// aborts within one node step's work — well under one round — and returns
+// ctx.Err() together with the metrics accumulated so far.
+func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if g == nil {
 		return Result{}, fmt.Errorf("local: nil graph")
 	}
@@ -249,7 +270,7 @@ func Run(g *graph.Graph, f Factory, cfg Config) (Result, error) {
 	if cfg.IDMap != nil && len(cfg.IDMap) != n {
 		return Result{}, fmt.Errorf("local: IDMap covers %d of %d nodes", len(cfg.IDMap), n)
 	}
-	r := &run{g: g, cfg: cfg}
+	r := &run{g: g, cfg: cfg, done: ctx.Done()}
 	effN := n
 	if cfg.NOverride > 0 {
 		effN = cfg.NOverride
@@ -297,16 +318,27 @@ func Run(g *graph.Graph, f Factory, cfg Config) (Result, error) {
 		if !active {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		if cfg.Concurrent {
 			r.stepAllConcurrent(round)
 		} else {
 			r.stepAllSequential(round)
+		}
+		// The engines return early on cancellation, possibly mid-round;
+		// abandon the round's output rather than deliver a partial step.
+		if err := ctx.Err(); err != nil {
+			return res, err
 		}
 		sent, units := r.deliver()
 		res.PerRound = append(res.PerRound, sent)
 		res.Messages += sent
 		res.PayloadUnits += units
 		res.Rounds++
+		if cfg.OnRound != nil {
+			cfg.OnRound(round, sent)
+		}
 	}
 	res.Halted = true
 	for v := 0; v < n; v++ {
@@ -331,8 +363,26 @@ func (r *run) stepOne(v int, round int) {
 	r.protos[v].Step(env, round, in)
 }
 
+// cancelled reports whether the run's context has been cancelled. It is a
+// non-blocking poll, cheap enough to call per node step; with no
+// cancellable context (done == nil) it compiles down to a nil check.
+func (r *run) cancelled() bool {
+	if r.done == nil {
+		return false
+	}
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
 func (r *run) stepAllSequential(round int) {
 	for v := range r.envs {
+		if r.cancelled() {
+			return
+		}
 		r.stepOne(v, round)
 	}
 }
@@ -361,6 +411,9 @@ func (r *run) stepAllConcurrent(round int) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for v := lo; v < hi; v++ {
+				if r.cancelled() {
+					return
+				}
 				r.stepOne(v, round)
 			}
 		}(lo, hi)

@@ -1,6 +1,7 @@
 package local
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -467,5 +468,98 @@ func TestPayloadUnitsEngineIndependent(t *testing.T) {
 	}
 	if run(false) != run(true) {
 		t.Fatal("payload units differ across engines")
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	// A protocol that never halts; cancellation is the only way out. Both
+	// engines must return ctx.Err() promptly and without deadlock.
+	g := gen.Grid(6, 6)
+	for _, concurrent := range []bool{false, true} {
+		ctx, cancel := context.WithCancel(context.Background())
+		rounds := 0
+		cfg := Config{
+			Seed:       1,
+			Concurrent: concurrent,
+			OnRound: func(round int, messages int64) {
+				rounds++
+				if rounds == 2 {
+					cancel()
+				}
+			},
+		}
+		res, err := RunCtx(ctx, g, func(v graph.NodeID) Protocol {
+			return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+				for _, p := range env.Ports() {
+					env.Send(p.Edge, round)
+				}
+			})
+		}, cfg)
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("concurrent=%v: err = %v, want context.Canceled", concurrent, err)
+		}
+		// The run stops within one round of the cancellation point; nothing
+		// near the MaxRounds default executes.
+		if res.Rounds > 3 {
+			t.Fatalf("concurrent=%v: %d rounds ran after cancellation", concurrent, res.Rounds)
+		}
+	}
+}
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := gen.Path(3)
+	stepped := false
+	_, err := RunCtx(ctx, g, func(v graph.NodeID) Protocol {
+		return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+			stepped = true
+			env.Halt()
+		})
+	}, Config{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stepped {
+		t.Fatal("protocol stepped under a pre-cancelled context")
+	}
+}
+
+func TestOnRoundObserver(t *testing.T) {
+	// OnRound must fire once per executed round, with per-round message
+	// counts matching the result's ledger, in both engines.
+	g := gen.Grid(4, 4)
+	for _, concurrent := range []bool{false, true} {
+		var rounds []int
+		var msgs []int64
+		res, err := Run(g, func(v graph.NodeID) Protocol {
+			return ProtocolFunc(func(env *Env, round int, inbox []Message) {
+				if round >= 3 {
+					env.Halt()
+					return
+				}
+				for _, p := range env.Ports() {
+					env.Send(p.Edge, "x")
+				}
+			})
+		}, Config{Seed: 2, Concurrent: concurrent, OnRound: func(r int, m int64) {
+			rounds = append(rounds, r)
+			msgs = append(msgs, m)
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rounds) != res.Rounds {
+			t.Fatalf("concurrent=%v: observer saw %d rounds, result has %d", concurrent, len(rounds), res.Rounds)
+		}
+		for i, r := range rounds {
+			if r != i {
+				t.Fatalf("round indices out of order: %v", rounds)
+			}
+			if msgs[i] != res.PerRound[i] {
+				t.Fatalf("round %d: observed %d messages, ledger has %d", i, msgs[i], res.PerRound[i])
+			}
+		}
 	}
 }

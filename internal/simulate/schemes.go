@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algorithms"
@@ -15,6 +16,31 @@ type PhaseCost struct {
 	Name     string
 	Rounds   int
 	Messages int64
+}
+
+// Hooks observes a scheme pipeline as it runs: Round fires after every
+// simulator round (labeled with the phase it belongs to), Phase fires when a
+// pipeline stage completes. Either may be nil. The zero Hooks observes
+// nothing.
+type Hooks struct {
+	Round func(phase string, round int, messages int64)
+	Phase func(cost PhaseCost)
+}
+
+// RoundConfig returns cfg with its OnRound callback bound to this phase.
+func (h Hooks) RoundConfig(cfg local.Config, phase string) local.Config {
+	if h.Round != nil {
+		round := h.Round
+		cfg.OnRound = func(r int, m int64) { round(phase, r, m) }
+	}
+	return cfg
+}
+
+// PhaseDone reports a completed stage.
+func (h Hooks) PhaseDone(cost PhaseCost) {
+	if h.Phase != nil {
+		h.Phase(cost)
+	}
 }
 
 // SchemeResult is the outcome of a message-reduction scheme: the collection
@@ -56,26 +82,27 @@ func (r *SchemeResult) TotalRounds() int {
 // initial knowledge by flooding the spanner for stretch·t rounds. Round
 // complexity O(3^γ·t + 6^γ); message complexity Õ(t·n^{1+2/(2^{γ+1}−1)})
 // with the paper's parameter coupling h = 2^{γ+1}−1.
-func Scheme1(g *graph.Graph, spec algorithms.Spec, p core.Params, seed uint64, cfg local.Config) (*SchemeResult, error) {
-	sp, err := core.BuildDistributed(g, p, seed, cfg)
+func Scheme1(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core.Params, seed uint64, cfg local.Config, hooks Hooks) (*SchemeResult, error) {
+	sp, err := core.BuildDistributedCtx(ctx, g, p, seed, hooks.RoundConfig(cfg, "sampler"))
 	if err != nil {
 		return nil, fmt.Errorf("scheme1 spanner: %w", err)
 	}
+	samplerCost := PhaseCost{Name: "sampler", Rounds: sp.Run.Rounds, Messages: sp.Run.Messages}
+	hooks.PhaseDone(samplerCost)
 	h, err := g.SubgraphByEdges(sp.S)
 	if err != nil {
 		return nil, err
 	}
 	alpha := sp.StretchBound()
-	coll, err := Collect(g, h, alpha*spec.T, seed, cfg)
+	coll, err := Collect(ctx, g, h, alpha*spec.T, seed, hooks.RoundConfig(cfg, "collect"))
 	if err != nil {
 		return nil, fmt.Errorf("scheme1 collection: %w", err)
 	}
+	collectCost := PhaseCost{Name: "collect", Rounds: coll.Run.Rounds, Messages: coll.Run.Messages}
+	hooks.PhaseDone(collectCost)
 	return &SchemeResult{
-		Coll: coll,
-		Phases: []PhaseCost{
-			{Name: "sampler", Rounds: sp.Run.Rounds, Messages: sp.Run.Messages},
-			{Name: "collect", Rounds: coll.Run.Rounds, Messages: coll.Run.Messages},
-		},
+		Coll:         coll,
+		Phases:       []PhaseCost{samplerCost, collectCost},
 		StretchUsed:  alpha,
 		SpannerEdges: len(sp.S),
 		FinalSpanner: sp.S,
@@ -133,8 +160,8 @@ func ElkinNeimanStage2(k int) Stage2 {
 // Scheme2 implements Theorem 3's second trade-off with Baswana–Sen as the
 // off-the-shelf construction (the paper uses Derbel et al.; see DESIGN.md
 // §3.2 for the substitution).
-func Scheme2(g *graph.Graph, spec algorithms.Spec, p core.Params, bsK int, seed uint64, cfg local.Config) (*SchemeResult, error) {
-	return Scheme2With(g, spec, p, BaswanaSenStage2(bsK), seed, cfg)
+func Scheme2(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core.Params, bsK int, seed uint64, cfg local.Config, hooks Hooks) (*SchemeResult, error) {
+	return Scheme2With(ctx, g, spec, p, BaswanaSenStage2(bsK), seed, cfg, hooks)
 }
 
 // Scheme2With implements Theorem 3's second trade-off, the two-stage
@@ -147,12 +174,14 @@ func Scheme2(g *graph.Graph, spec algorithms.Spec, p core.Params, bsK int, seed 
 //     — without sending a single message of the original Ω(m)-message
 //     algorithm;
 //  3. H′ carries the final collection for the target algorithm.
-func Scheme2With(g *graph.Graph, spec algorithms.Spec, p core.Params, st2 Stage2, seed uint64, cfg local.Config) (*SchemeResult, error) {
+func Scheme2With(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core.Params, st2 Stage2, seed uint64, cfg local.Config, hooks Hooks) (*SchemeResult, error) {
 	// Stage 1: Sampler spanner.
-	sp, err := core.BuildDistributed(g, p, seed, cfg)
+	sp, err := core.BuildDistributedCtx(ctx, g, p, seed, hooks.RoundConfig(cfg, "sampler"))
 	if err != nil {
 		return nil, fmt.Errorf("scheme2 stage-1 spanner: %w", err)
 	}
+	samplerCost := PhaseCost{Name: "sampler", Rounds: sp.Run.Rounds, Messages: sp.Run.Messages}
+	hooks.PhaseDone(samplerCost)
 	h1, err := g.SubgraphByEdges(sp.S)
 	if err != nil {
 		return nil, err
@@ -170,12 +199,15 @@ func Scheme2With(g *graph.Graph, spec algorithms.Spec, p core.Params, st2 Stage2
 			return st2.Output(pr)
 		},
 	}
-	coll2, err := Collect(g, h1, alpha1*st2.T, seed, cfg)
+	coll2, err := Collect(ctx, g, h1, alpha1*st2.T, seed, hooks.RoundConfig(cfg, st2.Name))
 	if err != nil {
 		return nil, fmt.Errorf("scheme2 stage-2 collection: %w", err)
 	}
 	h2edges := make(map[graph.EdgeID]bool)
 	for v := 0; v < g.NumNodes(); v++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		out, err := coll2.Replay(st2Spec, graph.NodeID(v))
 		if err != nil {
 			return nil, fmt.Errorf("scheme2 stage-2 replay at %d: %w", v, err)
@@ -184,23 +216,23 @@ func Scheme2With(g *graph.Graph, spec algorithms.Spec, p core.Params, st2 Stage2
 			h2edges[e] = true
 		}
 	}
+	stageCost := PhaseCost{Name: st2.Name, Rounds: coll2.Run.Rounds, Messages: coll2.Run.Messages}
+	hooks.PhaseDone(stageCost)
 	h2, err := g.SubgraphByEdges(h2edges)
 	if err != nil {
 		return nil, fmt.Errorf("scheme2: simulated %s emitted a non-subgraph: %w", st2.Name, err)
 	}
 
 	// Stage 3: final collection over H2.
-	coll, err := Collect(g, h2, st2.Stretch*spec.T, seed, cfg)
+	coll, err := Collect(ctx, g, h2, st2.Stretch*spec.T, seed, hooks.RoundConfig(cfg, "collect"))
 	if err != nil {
 		return nil, fmt.Errorf("scheme2 final collection: %w", err)
 	}
+	collectCost := PhaseCost{Name: "collect", Rounds: coll.Run.Rounds, Messages: coll.Run.Messages}
+	hooks.PhaseDone(collectCost)
 	return &SchemeResult{
-		Coll: coll,
-		Phases: []PhaseCost{
-			{Name: "sampler", Rounds: sp.Run.Rounds, Messages: sp.Run.Messages},
-			{Name: st2.Name, Rounds: coll2.Run.Rounds, Messages: coll2.Run.Messages},
-			{Name: "collect", Rounds: coll.Run.Rounds, Messages: coll.Run.Messages},
-		},
+		Coll:         coll,
+		Phases:       []PhaseCost{samplerCost, stageCost, collectCost},
 		StretchUsed:  st2.Stretch,
 		SpannerEdges: h2.NumEdges(),
 		FinalSpanner: h2edges,
@@ -209,6 +241,6 @@ func Scheme2With(g *graph.Graph, spec algorithms.Spec, p core.Params, st2 Stage2
 
 // DirectBroadcastCost measures the Θ(t·m) baseline: t-local broadcast by
 // flooding the communication graph itself.
-func DirectBroadcastCost(g *graph.Graph, t int, seed uint64, cfg local.Config) (*Collection, error) {
-	return Collect(g, g, t, seed, cfg)
+func DirectBroadcastCost(ctx context.Context, g *graph.Graph, t int, seed uint64, cfg local.Config) (*Collection, error) {
+	return Collect(ctx, g, g, t, seed, cfg)
 }

@@ -19,6 +19,7 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -60,12 +61,13 @@ func portsOf(g *graph.Graph) []any {
 // Collect floods every node's original-graph port list over host for the
 // given number of rounds. host must span the same node set as g (it is g
 // itself for the direct baseline, or a spanner of g for the schemes).
-func Collect(g, host *graph.Graph, rounds int, seed uint64, cfg local.Config) (*Collection, error) {
+// Cancelling ctx aborts the flood mid-round.
+func Collect(ctx context.Context, g, host *graph.Graph, rounds int, seed uint64, cfg local.Config) (*Collection, error) {
 	if g.NumNodes() != host.NumNodes() {
 		return nil, fmt.Errorf("simulate: host spans %d nodes, graph has %d", host.NumNodes(), g.NumNodes())
 	}
 	cfg.Seed = seed
-	fl, err := broadcast.Flood(host, portsOf(g), rounds, cfg)
+	fl, err := broadcast.Flood(ctx, host, portsOf(g), rounds, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -76,18 +78,18 @@ func Collect(g, host *graph.Graph, rounds int, seed uint64, cfg local.Config) (*
 // baseline family of Censor-Hillel et al. and Haeupler). It runs for
 // maxRounds rounds and additionally reports the earliest round at which
 // every t-ball was covered (-1 if never) and the messages spent by then.
-func GossipCollect(g *graph.Graph, t, maxRounds int, seed uint64, cfg local.Config) (*Collection, int, int64, error) {
+func GossipCollect(ctx context.Context, g *graph.Graph, t, maxRounds int, seed uint64, cfg local.Config) (*Collection, int, int64, error) {
 	cfg.Seed = seed
-	go_, err := broadcast.Gossip(g, portsOf(g), maxRounds, cfg)
+	gos, err := broadcast.Gossip(ctx, g, portsOf(g), maxRounds, cfg)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	cover := broadcast.CoverRound(g, go_.Arrival, t)
+	cover := broadcast.CoverRound(g, gos.Arrival, t)
 	var msgs int64
 	if cover >= 0 {
-		msgs = broadcast.MessagesUpTo(go_.Run, cover)
+		msgs = broadcast.MessagesUpTo(gos.Run, cover)
 	}
-	return collectionFrom(g, go_.Known, seed, go_.Run), cover, msgs, nil
+	return collectionFrom(g, gos.Known, seed, gos.Run), cover, msgs, nil
 }
 
 func collectionFrom(g *graph.Graph, known []map[graph.NodeID]any, seed uint64, run local.Result) *Collection {
@@ -232,9 +234,14 @@ func (c *Collection) Replay(spec algorithms.Spec, v graph.NodeID) (any, error) {
 }
 
 // ReplayAll replays every node and returns the full output vector.
-func (c *Collection) ReplayAll(spec algorithms.Spec) ([]any, error) {
+// Cancelling ctx aborts between node replays (each replay is one small-ball
+// local re-execution, so aborts land within one node's work).
+func (c *Collection) ReplayAll(ctx context.Context, spec algorithms.Spec) ([]any, error) {
 	out := make([]any, len(c.Ports))
 	for v := range c.Ports {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		o, err := c.Replay(spec, graph.NodeID(v))
 		if err != nil {
 			return nil, fmt.Errorf("node %d: %w", v, err)
@@ -246,11 +253,11 @@ func (c *Collection) ReplayAll(spec algorithms.Spec) ([]any, error) {
 
 // Direct runs the algorithm directly on g — the ground truth and the
 // Θ(t·m)-message baseline.
-func Direct(g *graph.Graph, spec algorithms.Spec, seed uint64, cfg local.Config) ([]any, local.Result, error) {
+func Direct(ctx context.Context, g *graph.Graph, spec algorithms.Spec, seed uint64, cfg local.Config) ([]any, local.Result, error) {
 	protos := make([]local.Protocol, g.NumNodes())
 	cfg.Seed = seed
 	cfg.MaxRounds = spec.T + 1
-	run, err := local.Run(g, func(v graph.NodeID) local.Protocol {
+	run, err := local.RunCtx(ctx, g, func(v graph.NodeID) local.Protocol {
 		protos[v] = spec.New(v)
 		return protos[v]
 	}, cfg)

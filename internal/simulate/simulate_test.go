@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/algorithms"
@@ -15,7 +16,7 @@ import (
 func TestCollectDirectEqualsBalls(t *testing.T) {
 	g := gen.ConnectedGNP(100, 0.05, xrand.New(1))
 	for _, tr := range []int{0, 1, 3} {
-		coll, err := Collect(g, g, tr, 7, local.Config{})
+		coll, err := Collect(context.Background(), g, g, tr, 7, local.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,7 +39,7 @@ func TestCollectDirectEqualsBalls(t *testing.T) {
 }
 
 func TestCollectHostMismatch(t *testing.T) {
-	if _, err := Collect(gen.Path(3), gen.Path(4), 1, 1, local.Config{}); err == nil {
+	if _, err := Collect(context.Background(), gen.Path(3), gen.Path(4), 1, 1, local.Config{}); err == nil {
 		t.Fatal("node-count mismatch accepted")
 	}
 }
@@ -47,11 +48,11 @@ func TestCollectHostMismatch(t *testing.T) {
 // execution on g — the operational content of the paper's Section 6.
 func checkFidelity(t *testing.T, g *graph.Graph, spec algorithms.Spec, coll *Collection, seed uint64) {
 	t.Helper()
-	want, _, err := Direct(g, spec, seed, local.Config{})
+	want, _, err := Direct(context.Background(), g, spec, seed, local.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := coll.ReplayAll(spec)
+	got, err := coll.ReplayAll(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestReplayFidelityDirectCollection(t *testing.T) {
 		algorithms.MIS(algorithms.MISRounds(90)),
 		algorithms.Coloring(algorithms.ColoringRounds(90)),
 	} {
-		coll, err := Collect(g, g, spec.T, seed, local.Config{})
+		coll, err := Collect(context.Background(), g, g, spec.T, seed, local.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func TestScheme1Fidelity(t *testing.T) {
 				algorithms.MaxID(3),
 				algorithms.MIS(algorithms.MISRounds(g.NumNodes())),
 			} {
-				res, err := Scheme1(g, spec, Scheme1Params(1), seed, local.Config{})
+				res, err := Scheme1(context.Background(), g, spec, Scheme1Params(1), seed, local.Config{}, Hooks{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -116,7 +117,7 @@ func TestScheme1FidelityK2(t *testing.T) {
 	g := gen.ConnectedGNP(70, 0.1, xrand.New(4))
 	const seed = 13
 	spec := algorithms.Coloring(algorithms.ColoringRounds(70))
-	res, err := Scheme1(g, spec, Scheme1Params(2), seed, local.Config{})
+	res, err := Scheme1(context.Background(), g, spec, Scheme1Params(2), seed, local.Config{}, Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestGossipCollectFidelity(t *testing.T) {
 	g := gen.ConnectedGNP(60, 0.12, xrand.New(5))
 	const seed, tr = 17, 2
 	spec := algorithms.MaxID(tr)
-	coll, cover, msgs, err := GossipCollect(g, tr, 600, seed, local.Config{})
+	coll, cover, msgs, err := GossipCollect(context.Background(), g, tr, 600, seed, local.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestScheme2FidelityAndSpanner(t *testing.T) {
 	g := gen.ConnectedGNP(70, 0.12, xrand.New(6))
 	const seed = 23
 	spec := algorithms.MaxID(2)
-	res, err := Scheme2(g, spec, Scheme1Params(1), 2, seed, local.Config{})
+	res, err := Scheme2(context.Background(), g, spec, Scheme1Params(1), 2, seed, local.Config{}, Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestScheme2MatchesDirectBS(t *testing.T) {
 	// direct distributed run with the same seed.
 	g := gen.ConnectedGNP(60, 0.15, xrand.New(7))
 	const seed, bsK = 29, 2
-	res, err := Scheme2(g, algorithms.MaxID(1), Scheme1Params(1), bsK, seed, local.Config{})
+	res, err := Scheme2(context.Background(), g, algorithms.MaxID(1), Scheme1Params(1), bsK, seed, local.Config{}, Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestScheme1Params(t *testing.T) {
 
 func TestDirectBroadcastCost(t *testing.T) {
 	g := gen.Complete(40)
-	coll, err := DirectBroadcastCost(g, 2, 3, local.Config{})
+	coll, err := DirectBroadcastCost(context.Background(), g, 2, 3, local.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,11 +231,11 @@ func TestSchemeBeatsDirectOnDenseGraph(t *testing.T) {
 	spec := algorithms.MaxID(tr)
 	p := core.Default(2, 8)
 	p.C = 0.5
-	res, err := Scheme1(g, spec, p, seed, local.Config{Concurrent: true})
+	res, err := Scheme1(context.Background(), g, spec, p, seed, local.Config{Concurrent: true}, Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := DirectBroadcastCost(g, tr, seed, local.Config{Concurrent: true})
+	direct, err := DirectBroadcastCost(context.Background(), g, tr, seed, local.Config{Concurrent: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestSchemeBeatsDirectOnDenseGraph(t *testing.T) {
 			res.TotalMessages(), direct.Run.Messages)
 	}
 	// And fidelity still holds on a sample of nodes.
-	want, _, err := Direct(g, spec, seed, local.Config{})
+	want, _, err := Direct(context.Background(), g, spec, seed, local.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestSchemeBeatsDirectOnDenseGraph(t *testing.T) {
 
 func TestReplayDetectsCorruptCollection(t *testing.T) {
 	g := gen.Path(3)
-	coll, err := Collect(g, g, 2, 1, local.Config{})
+	coll, err := Collect(context.Background(), g, g, 2, 1, local.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestScheme2WithElkinNeiman(t *testing.T) {
 	g := gen.ConnectedGNP(70, 0.12, xrand.New(8))
 	const seed = 37
 	spec := algorithms.MaxID(2)
-	res, err := Scheme2With(g, spec, Scheme1Params(1), ElkinNeimanStage2(2), seed, local.Config{})
+	res, err := Scheme2With(context.Background(), g, spec, Scheme1Params(1), ElkinNeimanStage2(2), seed, local.Config{}, Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestScheme2WithElkinNeiman(t *testing.T) {
 	}
 	// The EN stage must cost fewer rounds than the BS stage at the same
 	// stretch (k'=2: EN 5 rounds vs BS 7, times the stage-1 stretch).
-	bs, err := Scheme2(g, spec, Scheme1Params(1), 2, seed, local.Config{})
+	bs, err := Scheme2(context.Background(), g, spec, Scheme1Params(1), 2, seed, local.Config{}, Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestScheme2ENMatchesDirectEN(t *testing.T) {
 	// run edge for edge.
 	g := gen.ConnectedGNP(60, 0.15, xrand.New(9))
 	const seed, k = 43, 2
-	res, err := Scheme2With(g, algorithms.MaxID(1), Scheme1Params(1), ElkinNeimanStage2(k), seed, local.Config{})
+	res, err := Scheme2With(context.Background(), g, algorithms.MaxID(1), Scheme1Params(1), ElkinNeimanStage2(k), seed, local.Config{}, Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,42 @@
+package repro
+
+import "repro/internal/simulate"
+
+// PhaseCost is one pipeline stage's price (name, rounds, messages).
+type PhaseCost = simulate.PhaseCost
+
+// Observer receives live progress events from a running simulation.
+//
+// RoundCompleted fires after every LOCAL round the pipeline executes,
+// labeled with the phase it belongs to ("sampler", "simulate-bs",
+// "simulate-en", "collect", "direct", "gossip"); PhaseCompleted fires when a
+// whole pipeline stage finishes, with its cost. Within a single Run,
+// callbacks fire on that run's coordinating goroutine and are never
+// invoked concurrently with each other; an observer shared by concurrent
+// Runs is called from each run's goroutine and must be safe for concurrent
+// use. Callbacks must not call back into the running engine.
+type Observer interface {
+	RoundCompleted(phase string, round int, messages int64)
+	PhaseCompleted(cost PhaseCost)
+}
+
+// ObserverFuncs adapts plain functions to the Observer interface. Nil
+// fields ignore their events.
+type ObserverFuncs struct {
+	OnRound func(phase string, round int, messages int64)
+	OnPhase func(cost PhaseCost)
+}
+
+// RoundCompleted implements Observer.
+func (o ObserverFuncs) RoundCompleted(phase string, round int, messages int64) {
+	if o.OnRound != nil {
+		o.OnRound(phase, round, messages)
+	}
+}
+
+// PhaseCompleted implements Observer.
+func (o ObserverFuncs) PhaseCompleted(cost PhaseCost) {
+	if o.OnPhase != nil {
+		o.OnPhase(cost)
+	}
+}

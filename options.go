@@ -1,0 +1,195 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/local"
+	"repro/internal/simulate"
+)
+
+// Options is the resolved configuration of an Engine. Construct it through
+// NewEngine and the With* functional options; the zero value plus defaults
+// (applied by NewEngine) reproduces the paper's canonical setup: sequential
+// engine, seed 0, γ = 1 with the coupling h = 2^{γ+1}−1, Baswana–Sen /
+// Elkin–Neiman stage parameter k = 2.
+type Options struct {
+	// Seed drives all randomness (graph algorithms and protocol coin flips).
+	Seed uint64
+	// KT1 exposes neighbor IDs on ports; the default (false) is the paper's
+	// unique-edge-ID model, strictly between KT0 and KT1.
+	KT1 bool
+	// Concurrency selects the execution engine: 0 runs the sequential
+	// engine, n > 0 the concurrent engine with n workers, and n < 0 the
+	// concurrent engine with GOMAXPROCS workers. Both engines produce
+	// bit-identical executions; this is purely a wall-clock knob.
+	Concurrency int
+	// MaxRounds bounds protocols that manage their own halting. The
+	// pipeline stages with fixed schedules (sampler, collections, direct
+	// runs) override it internally; the gossip scheme uses it as its round
+	// budget (0 means 100·n, matching the historical driver default).
+	MaxRounds int
+	// LogNSlack multiplies the true log2(n) handed to nodes, modeling the
+	// O(1)-approximate upper bound on log n. Zero means exact.
+	LogNSlack float64
+	// Gamma is the Sampler level parameter γ for the message-reduction
+	// schemes, with the paper's coupling h = 2^{γ+1}−1. Default 1.
+	Gamma int
+	// StageK is the stretch parameter k of the simulated stage-2
+	// construction (Baswana–Sen or Elkin–Neiman, stretch 2k−1). Default 2.
+	StageK int
+	// SpannerK, SpannerH, SpannerC override the Sampler parameters
+	// wholesale (hierarchy depth, trial parameter, whp-threshold scale).
+	// When SpannerK is zero the schemes derive parameters from Gamma and
+	// Engine.BuildSpanner uses the paper defaults K=2, H=4.
+	SpannerK int
+	SpannerH int
+	SpannerC float64
+	// Observers receive round- and phase-completion events while a
+	// simulation runs.
+	Observers []Observer
+}
+
+// Option mutates Options; pass them to NewEngine.
+type Option func(*Options)
+
+// WithSeed sets the root random seed.
+func WithSeed(seed uint64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithKT1 enables (or disables) the KT1 model variant in which nodes know
+// their neighbors' IDs.
+func WithKT1(on bool) Option { return func(o *Options) { o.KT1 = on } }
+
+// WithConcurrency selects the execution engine: 0 sequential, n > 0
+// concurrent with n workers, n < 0 concurrent with GOMAXPROCS workers.
+func WithConcurrency(n int) Option { return func(o *Options) { o.Concurrency = n } }
+
+// WithMaxRounds bounds self-halting protocols and sets the gossip scheme's
+// round budget.
+func WithMaxRounds(r int) Option { return func(o *Options) { o.MaxRounds = r } }
+
+// WithLogNSlack sets the slack factor on the log n upper bound handed to
+// nodes (must be >= 1; 0 means exact).
+func WithLogNSlack(f float64) Option { return func(o *Options) { o.LogNSlack = f } }
+
+// WithGamma sets the Sampler level parameter γ for the schemes (h follows
+// the paper's coupling 2^{γ+1}−1).
+func WithGamma(gamma int) Option { return func(o *Options) { o.Gamma = gamma } }
+
+// WithStageK sets the stage-2 construction's stretch parameter k
+// (stretch 2k−1) for scheme2 and scheme2en.
+func WithStageK(k int) Option { return func(o *Options) { o.StageK = k } }
+
+// WithSpannerParams overrides the Sampler parameters wholesale: hierarchy
+// depth k, trial parameter h, and whp-threshold scale c (c = 0 keeps the
+// default). It takes precedence over WithGamma's coupling.
+func WithSpannerParams(k, h int, c float64) Option {
+	return func(o *Options) {
+		o.SpannerK, o.SpannerH, o.SpannerC = k, h, c
+	}
+}
+
+// WithObserver registers an observer for round- and phase-completion
+// events. May be given multiple times; observers are notified in
+// registration order.
+func WithObserver(obs Observer) Option {
+	return func(o *Options) { o.Observers = append(o.Observers, obs) }
+}
+
+// newOptions applies defaults and then the given options.
+func newOptions(opts []Option) Options {
+	o := Options{Gamma: 1, StageK: 2}
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}
+
+// localConfig translates the options into a LOCAL-simulator config.
+func (o *Options) localConfig() local.Config {
+	cfg := local.Config{
+		Seed:      o.Seed,
+		KT1:       o.KT1,
+		MaxRounds: o.MaxRounds,
+		LogNSlack: o.LogNSlack,
+	}
+	switch {
+	case o.Concurrency > 0:
+		cfg.Concurrent, cfg.Workers = true, o.Concurrency
+	case o.Concurrency < 0:
+		cfg.Concurrent = true
+	}
+	return cfg
+}
+
+// samplerParams resolves the Sampler parameters the schemes use for their
+// stage-1 spanner: the explicit WithSpannerParams override when present,
+// otherwise the paper's γ-coupling.
+func (o *Options) samplerParams() core.Params {
+	if o.SpannerK > 0 {
+		h := o.SpannerH
+		if h == 0 {
+			h = 4
+		}
+		p := core.Default(o.SpannerK, h)
+		if o.SpannerC != 0 {
+			p.C = o.SpannerC
+		}
+		return p
+	}
+	p := simulate.Scheme1Params(o.Gamma)
+	if o.SpannerC != 0 {
+		p.C = o.SpannerC
+	}
+	return p
+}
+
+// buildSpannerParams resolves the parameters Engine.BuildSpanner uses:
+// explicit overrides when present, otherwise the paper defaults K=2, H=4.
+func (o *Options) buildSpannerParams() core.Params {
+	k, h := o.SpannerK, o.SpannerH
+	if k == 0 {
+		k = 2
+	}
+	if h == 0 {
+		h = 4
+	}
+	p := core.Default(k, h)
+	if o.SpannerC != 0 {
+		p.C = o.SpannerC
+	}
+	return p
+}
+
+// hooks fans pipeline events out to every registered observer.
+func (o *Options) hooks() simulate.Hooks {
+	if len(o.Observers) == 0 {
+		return simulate.Hooks{}
+	}
+	obs := o.Observers
+	return simulate.Hooks{
+		Round: func(phase string, round int, messages int64) {
+			for _, ob := range obs {
+				ob.RoundCompleted(phase, round, messages)
+			}
+		},
+		Phase: func(cost PhaseCost) {
+			for _, ob := range obs {
+				ob.PhaseCompleted(cost)
+			}
+		},
+	}
+}
+
+// validate checks the option values every scheme depends on.
+func (o *Options) validate() error {
+	if o.LogNSlack != 0 && o.LogNSlack < 1 {
+		return fmt.Errorf("LogNSlack %v < 1 is not an upper bound", o.LogNSlack)
+	}
+	if o.MaxRounds < 0 {
+		return fmt.Errorf("negative MaxRounds %d", o.MaxRounds)
+	}
+	return nil
+}

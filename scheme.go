@@ -1,0 +1,249 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/simulate"
+)
+
+// Scheme is one execution strategy for a t-round LOCAL algorithm: the
+// direct baseline, one of the paper's message-reduction pipelines, or a
+// literature baseline such as push–pull gossip. Implementations are
+// registered by name (RegisterScheme) and looked up by drivers
+// (Lookup/Schemes), so new strategies plug in without new top-level API.
+type Scheme interface {
+	// Name is the registry key ("direct", "scheme1", ...).
+	Name() string
+	// Description is a one-line summary for listings and -help output.
+	Description() string
+	// Validate rejects option combinations the scheme cannot honor, before
+	// any simulation work starts.
+	Validate(opts *Options) error
+	// Run simulates spec on g under opts. Outputs are bit-identical to a
+	// direct run at the same seed for every registered scheme; cancelling
+	// ctx aborts the pipeline within one node step's work.
+	Run(ctx context.Context, g *Graph, spec AlgorithmSpec, opts *Options) (*SimulationResult, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Scheme)
+)
+
+// RegisterScheme adds a scheme to the registry. It errors on an empty name
+// or a duplicate registration.
+func RegisterScheme(s Scheme) error {
+	if s == nil || s.Name() == "" {
+		return fmt.Errorf("repro: RegisterScheme with empty scheme name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[s.Name()]; dup {
+		return fmt.Errorf("repro: scheme %q already registered", s.Name())
+	}
+	registry[s.Name()] = s
+	return nil
+}
+
+// mustRegister is RegisterScheme for the built-in init path.
+func mustRegister(s Scheme) {
+	if err := RegisterScheme(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the scheme registered under name.
+func Lookup(name string) (Scheme, error) {
+	registryMu.RLock()
+	s, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown scheme %q (registered: %v)", name, SchemeNames())
+	}
+	return s, nil
+}
+
+// Schemes returns every registered scheme, sorted by name.
+func Schemes() []Scheme {
+	registryMu.RLock()
+	out := make([]Scheme, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	registryMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// SchemeNames returns the sorted names of every registered scheme.
+func SchemeNames() []string {
+	ss := Schemes()
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// schemeFunc is the built-in Scheme implementation: a named run function
+// plus a validator.
+type schemeFunc struct {
+	name     string
+	desc     string
+	validate func(o *Options) error
+	run      func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error)
+}
+
+func (s *schemeFunc) Name() string        { return s.name }
+func (s *schemeFunc) Description() string { return s.desc }
+
+func (s *schemeFunc) Validate(o *Options) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
+	if s.validate != nil {
+		return s.validate(o)
+	}
+	return nil
+}
+
+func (s *schemeFunc) Run(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
+	return s.run(ctx, g, spec, o)
+}
+
+// validateGamma checks the stage-1 Sampler parameters shared by the
+// message-reduction schemes.
+func validateGamma(o *Options) error {
+	if o.SpannerK > 0 {
+		return nil // explicit override; core.Params.Validate has the final say
+	}
+	if o.Gamma < 1 {
+		return fmt.Errorf("gamma %d < 1 (use WithGamma or WithSpannerParams)", o.Gamma)
+	}
+	return nil
+}
+
+// validateStageK additionally checks the stage-2 stretch parameter.
+func validateStageK(o *Options) error {
+	if err := validateGamma(o); err != nil {
+		return err
+	}
+	if o.StageK < 1 {
+		return fmt.Errorf("stage-2 parameter k = %d < 1 (use WithStageK)", o.StageK)
+	}
+	return nil
+}
+
+func init() {
+	mustRegister(&schemeFunc{
+		name: "direct",
+		desc: "direct execution on G: ground truth, Θ(t·m) messages",
+		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
+			hooks := o.hooks()
+			outs, run, err := simulate.Direct(ctx, g, spec, o.Seed, hooks.RoundConfig(o.localConfig(), "direct"))
+			if err != nil {
+				return nil, err
+			}
+			cost := PhaseCost{Name: "direct", Rounds: run.Rounds, Messages: run.Messages}
+			hooks.PhaseDone(cost)
+			return &SimulationResult{
+				Scheme:   "direct",
+				Outputs:  outs,
+				Rounds:   run.Rounds,
+				Messages: run.Messages,
+				Phases:   []PhaseCost{cost},
+			}, nil
+		},
+	})
+	mustRegister(&schemeFunc{
+		name:     "scheme1",
+		desc:     "Theorem 3 (i): Sampler spanner + stretch·t-round collection",
+		validate: validateGamma,
+		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
+			res, err := simulate.Scheme1(ctx, g, spec, o.samplerParams(), o.Seed, o.localConfig(), o.hooks())
+			if err != nil {
+				return nil, err
+			}
+			return replayResult(ctx, "scheme1", res, spec)
+		},
+	})
+	mustRegister(&schemeFunc{
+		name:     "scheme2",
+		desc:     "Theorem 3 (ii): Sampler spanner simulates Baswana–Sen, whose spanner collects",
+		validate: validateStageK,
+		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
+			res, err := simulate.Scheme2With(ctx, g, spec, o.samplerParams(),
+				simulate.BaswanaSenStage2(o.StageK), o.Seed, o.localConfig(), o.hooks())
+			if err != nil {
+				return nil, err
+			}
+			return replayResult(ctx, "scheme2", res, spec)
+		},
+	})
+	mustRegister(&schemeFunc{
+		name:     "scheme2en",
+		desc:     "scheme2 with Elkin–Neiman as the simulated stage (k+O(1) rounds vs O(k²))",
+		validate: validateStageK,
+		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
+			res, err := simulate.Scheme2With(ctx, g, spec, o.samplerParams(),
+				simulate.ElkinNeimanStage2(o.StageK), o.Seed, o.localConfig(), o.hooks())
+			if err != nil {
+				return nil, err
+			}
+			return replayResult(ctx, "scheme2en", res, spec)
+		},
+	})
+	mustRegister(&schemeFunc{
+		name: "gossip",
+		desc: "push–pull gossip collection baseline (Censor-Hillel et al.; Haeupler)",
+		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
+			budget := o.MaxRounds
+			if budget == 0 {
+				budget = 100 * g.NumNodes()
+			}
+			hooks := o.hooks()
+			coll, cover, msgs, err := simulate.GossipCollect(ctx, g, spec.T, budget, o.Seed,
+				hooks.RoundConfig(o.localConfig(), "gossip"))
+			if err != nil {
+				return nil, err
+			}
+			if cover < 0 {
+				return nil, fmt.Errorf("gossip did not cover the %d-balls within %d rounds (raise WithMaxRounds)", spec.T, budget)
+			}
+			cost := PhaseCost{Name: "gossip", Rounds: cover, Messages: msgs}
+			hooks.PhaseDone(cost)
+			outs, err := coll.ReplayAll(ctx, spec)
+			if err != nil {
+				return nil, err
+			}
+			return &SimulationResult{
+				Scheme:   "gossip",
+				Outputs:  outs,
+				Rounds:   cover,
+				Messages: msgs,
+				Phases:   []PhaseCost{cost},
+			}, nil
+		},
+	})
+}
+
+// replayResult recovers every node's output from a scheme's collection and
+// packages the cost ledger.
+func replayResult(ctx context.Context, scheme string, res *simulate.SchemeResult, spec AlgorithmSpec) (*SimulationResult, error) {
+	outs, err := res.Coll.ReplayAll(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &SimulationResult{
+		Scheme:       scheme,
+		Outputs:      outs,
+		Rounds:       res.TotalRounds(),
+		Messages:     res.TotalMessages(),
+		Phases:       res.Phases,
+		StretchUsed:  res.StretchUsed,
+		SpannerEdges: res.SpannerEdges,
+	}, nil
+}
