@@ -3,16 +3,20 @@ package repro
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/simulate"
 )
 
 // Engine executes simulations under one fixed, validated configuration. It
-// is cheap to construct, immutable after construction, and safe for
-// concurrent use by multiple goroutines (each Run gets its own copy of the
-// options — but registered Observer instances are shared across Runs, so a
-// stateful observer on a concurrently-used engine must be thread-safe; see
-// Observer).
+// is cheap to construct, its configuration is immutable after construction,
+// and it is safe for concurrent use by multiple goroutines (each Run gets
+// its own copy of the options — but registered Observer instances are shared
+// across Runs, so a stateful observer on a concurrently-used engine must be
+// thread-safe; see Observer).
 //
 //	eng := repro.NewEngine(
 //		repro.WithSeed(42),
@@ -20,14 +24,56 @@ import (
 //		repro.WithGamma(2),
 //	)
 //	res, err := eng.Run(ctx, "scheme2en", g, repro.MIS(repro.MISRounds(n)))
+//
+// # Spanner cache
+//
+// The paper's stage-1 Sampler spanner is a one-off construction whose cost
+// is meant to be amortized across many stage-2 executions. The engine
+// therefore memoizes stage-1 artifacts keyed by (graph identity, seed,
+// spanner parameters, model options): the first Run or BuildSpanner at a key
+// constructs the spanner, every subsequent call at the same key reuses it
+// without executing a single sampler round. Concurrent Runs at the same key
+// are coalesced (single flight): one builds, the rest wait and share the
+// artifact. A cache hit is observable as a PhaseCost named "sampler(cached)"
+// with zero rounds and messages, so result ledgers report only what the run
+// actually spent. Reset drops the cache; WithNoCache disables it.
 type Engine struct {
 	opts Options
+
+	mu       sync.Mutex
+	spanners map[spannerKey]*spannerEntry
+}
+
+// spannerKey identifies one cached stage-1 construction: exactly the inputs
+// that determine the Sampler's execution bit for bit. Concurrency is
+// excluded (the sequential and concurrent engines produce identical
+// executions), as is MaxRounds (the sampler schedules its own rounds).
+type spannerKey struct {
+	fingerprint  uint64
+	nodes, edges int
+	seed         uint64
+	k, h         int
+	c            float64
+	kt1          bool
+	logNSlack    float64
+}
+
+// spannerEntry is one cache slot. The creator builds the artifact and closes
+// ready; waiters block on ready (or their own context). A failed or
+// cancelled build is removed from the map so it does not poison the key.
+type spannerEntry struct {
+	ready chan struct{}
+	st1   *simulate.Stage1
+	err   error
 }
 
 // NewEngine builds an engine from functional options (see the With*
 // functions). Unset options fall back to the paper's canonical defaults.
 func NewEngine(opts ...Option) *Engine {
-	return &Engine{opts: newOptions(opts)}
+	return &Engine{
+		opts:     newOptions(opts),
+		spanners: make(map[spannerKey]*spannerEntry),
+	}
 }
 
 // Options returns a copy of the engine's resolved options.
@@ -35,6 +81,80 @@ func (e *Engine) Options() Options {
 	o := e.opts
 	o.Observers = append([]Observer(nil), e.opts.Observers...)
 	return o
+}
+
+// Reset drops every cached stage-1 spanner, so the next Run or BuildSpanner
+// at any key constructs from scratch. Builds already in flight complete and
+// hand their artifact to the runs waiting on them, but are not re-admitted
+// to the cache. Reset is safe to call concurrently with Runs.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	e.spanners = make(map[spannerKey]*spannerEntry)
+	e.mu.Unlock()
+}
+
+// cachedStage1 is the simulate.Stage1Source bound to the engine's cache. On
+// a miss it becomes the builder for its key (observers of the building run
+// see the sampler rounds as usual); on a hit — or after waiting out a
+// concurrent builder — it returns the memoized artifact under the zero-cost
+// phase "sampler(cached)".
+func (e *Engine) cachedStage1(ctx context.Context, g *graph.Graph, p core.Params, seed uint64, cfg local.Config, hooks simulate.Hooks) (*simulate.Stage1, PhaseCost, error) {
+	key := spannerKey{
+		fingerprint: g.Fingerprint(),
+		nodes:       g.NumNodes(),
+		edges:       g.NumEdges(),
+		seed:        seed,
+		k:           p.K,
+		h:           p.H,
+		c:           p.C,
+		kt1:         cfg.KT1,
+		logNSlack:   cfg.LogNSlack,
+	}
+	for {
+		e.mu.Lock()
+		ent, ok := e.spanners[key]
+		if !ok {
+			ent = &spannerEntry{ready: make(chan struct{})}
+			e.spanners[key] = ent
+			e.mu.Unlock()
+			st1, cost, err := simulate.BuildStage1(ctx, g, p, seed, cfg, hooks)
+			ent.st1, ent.err = st1, err
+			if err != nil {
+				// Do not poison the key: a failed (or cancelled) build is
+				// retried by the next run, not replayed to it.
+				e.mu.Lock()
+				if e.spanners[key] == ent {
+					delete(e.spanners, key)
+				}
+				e.mu.Unlock()
+			}
+			close(ent.ready)
+			return st1, cost, err
+		}
+		e.mu.Unlock()
+		select {
+		case <-ent.ready:
+		case <-ctx.Done():
+			return nil, PhaseCost{}, ctx.Err()
+		}
+		if ent.err == nil {
+			return ent.st1, PhaseCost{Name: "sampler(cached)"}, nil
+		}
+		// The builder failed and removed the entry; retry (and possibly
+		// become the builder) unless this run was itself cancelled.
+		if err := ctx.Err(); err != nil {
+			return nil, PhaseCost{}, err
+		}
+	}
+}
+
+// stage1Source resolves the stage-1 source for one run: the engine cache
+// unless caching is disabled.
+func (e *Engine) stage1Source(o *Options) simulate.Stage1Source {
+	if o.NoCache {
+		return simulate.BuildStage1
+	}
+	return e.cachedStage1
 }
 
 // Run looks up the named scheme in the registry, validates the engine's
@@ -59,6 +179,7 @@ func (e *Engine) RunScheme(ctx context.Context, s Scheme, g *Graph, spec Algorit
 		return nil, fmt.Errorf("repro: nil graph")
 	}
 	o := e.Options() // private copy: schemes may not mutate engine state
+	o.stage1 = e.stage1Source(&o)
 	if err := s.Validate(&o); err != nil {
 		return nil, fmt.Errorf("repro: scheme %s: %w", s.Name(), err)
 	}
@@ -68,27 +189,38 @@ func (e *Engine) RunScheme(ctx context.Context, s Scheme, g *Graph, spec Algorit
 // BuildSpanner runs the distributed algorithm Sampler (the paper's
 // Section 5) on the connected simple graph g under the engine's options and
 // returns the spanner with its cost ledger. Parameters come from
-// WithSpannerParams, defaulting to the paper's K=2, H=4. Observers see the
-// construction as phase "sampler"; cancelling ctx aborts it mid-round.
+// WithSpannerParams, defaulting to the paper's K=2, H=4. Observers see a
+// fresh construction as phase "sampler" and a cache hit as the zero-cost
+// phase "sampler(cached)"; in both cases the returned Spanner carries the
+// construction's original round and message costs. Cancelling ctx aborts a
+// fresh construction mid-round.
 func (e *Engine) BuildSpanner(ctx context.Context, g *Graph) (*Spanner, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if g == nil {
+		return nil, fmt.Errorf("repro: BuildSpanner: nil graph")
 	}
 	o := e.Options()
 	if err := o.validate(); err != nil {
 		return nil, fmt.Errorf("repro: BuildSpanner: %w", err)
 	}
 	hooks := o.hooks()
-	res, err := core.BuildDistributedCtx(ctx, g, o.buildSpannerParams(), o.Seed,
-		hooks.RoundConfig(o.localConfig(), "sampler"))
+	st1, cost, err := e.stage1Source(&o)(ctx, g, o.buildSpannerParams(), o.Seed, o.localConfig(), hooks)
 	if err != nil {
 		return nil, err
 	}
-	hooks.PhaseDone(PhaseCost{Name: "sampler", Rounds: res.Run.Rounds, Messages: res.Run.Messages})
+	hooks.PhaseDone(cost)
+	// Copy the edge set: the cached artifact is shared across runs and must
+	// stay immutable.
+	edges := make(map[EdgeID]bool, len(st1.S))
+	for id := range st1.S {
+		edges[id] = true
+	}
 	return &Spanner{
-		Edges:        res.S,
-		StretchBound: res.StretchBound(),
-		Rounds:       res.Run.Rounds,
-		Messages:     res.Run.Messages,
+		Edges:        edges,
+		StretchBound: st1.Stretch,
+		Rounds:       st1.Rounds,
+		Messages:     st1.Messages,
 	}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -139,7 +140,11 @@ func TestDeprecatedWrappersMatchEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cur2, err := eng.Run(context.Background(), "scheme2en", g, spec)
+	// A fresh engine: the wrappers construct one per call, so the cost
+	// contract is against an unprimed spanner cache (the shared engine above
+	// would amortize the sampler away on its second run).
+	eng2 := repro.NewEngine(repro.WithSeed(seed), repro.WithGamma(gamma), repro.WithStageK(stageK))
+	cur2, err := eng2.Run(context.Background(), "scheme2en", g, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,6 +208,277 @@ func TestObserverStreamsPhases(t *testing.T) {
 	}
 	if rounds != res.Rounds {
 		t.Fatalf("observer counted %d rounds, result reports %d", rounds, res.Rounds)
+	}
+}
+
+// phaseRecorder is a thread-safe observer that records phase completions in
+// order and counts rounds per phase, usable from concurrently running Runs.
+type phaseRecorder struct {
+	mu     sync.Mutex
+	phases []repro.PhaseCost
+	rounds map[string]int
+}
+
+func newPhaseRecorder() *phaseRecorder {
+	return &phaseRecorder{rounds: make(map[string]int)}
+}
+
+func (p *phaseRecorder) RoundCompleted(phase string, round int, messages int64) {
+	p.mu.Lock()
+	p.rounds[phase]++
+	p.mu.Unlock()
+}
+
+func (p *phaseRecorder) PhaseCompleted(c repro.PhaseCost) {
+	p.mu.Lock()
+	p.phases = append(p.phases, c)
+	p.mu.Unlock()
+}
+
+// phaseNameCount returns how many recorded phases carry the given name.
+func (p *phaseRecorder) phaseNameCount(name string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, c := range p.phases {
+		if c.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// roundCount returns the number of recorded rounds for a phase.
+func (p *phaseRecorder) roundCount(phase string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rounds[phase]
+}
+
+// clear resets the recorder between runs.
+func (p *phaseRecorder) clear() {
+	p.mu.Lock()
+	p.phases = nil
+	p.rounds = make(map[string]int)
+	p.mu.Unlock()
+}
+
+// sameOutputs fails the test unless the two output vectors are identical.
+func sameOutputs(t *testing.T, label string, got, want []any) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outputs, want %d", label, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: node %d produced %v, want %v", label, v, got[v], want[v])
+		}
+	}
+}
+
+// TestSpannerCacheFidelityMatrix is the cache fidelity matrix: every
+// registered scheme run twice on the same engine must produce outputs
+// bit-identical to a fresh engine's — including after Reset — and for the
+// sampler-based schemes the second run must perform zero sampler rounds,
+// reporting the stage as the zero-cost phase "sampler(cached)".
+func TestSpannerCacheFidelityMatrix(t *testing.T) {
+	g := testGraph()
+	const seed = 7
+	algs := []struct {
+		name string
+		spec repro.AlgorithmSpec
+	}{
+		{"maxid", repro.MaxID(3)},
+		{"mis", repro.MIS(repro.MISRounds(g.NumNodes()))},
+	}
+	for _, alg := range algs {
+		for _, s := range repro.Schemes() {
+			t.Run(fmt.Sprintf("%s/%s", s.Name(), alg.name), func(t *testing.T) {
+				ctx := context.Background()
+				rec := newPhaseRecorder()
+				shared := repro.NewEngine(
+					repro.WithSeed(seed),
+					repro.WithMaxRounds(1500), // gossip budget
+					repro.WithObserver(rec),
+				)
+				fresh, err := repro.NewEngine(
+					repro.WithSeed(seed),
+					repro.WithMaxRounds(1500),
+				).RunScheme(ctx, s, g, alg.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run1, err := shared.RunScheme(ctx, s, g, alg.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameOutputs(t, "first run", run1.Outputs, fresh.Outputs)
+				usesSampler := len(run1.Phases) > 0 && run1.Phases[0].Name == "sampler"
+
+				rec.clear()
+				run2, err := shared.RunScheme(ctx, s, g, alg.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameOutputs(t, "cached run", run2.Outputs, fresh.Outputs)
+				if run2.StretchUsed != fresh.StretchUsed || run2.SpannerEdges != fresh.SpannerEdges {
+					t.Fatalf("cached run spanner (stretch %d, %d edges) != fresh (%d, %d)",
+						run2.StretchUsed, run2.SpannerEdges, fresh.StretchUsed, fresh.SpannerEdges)
+				}
+				if usesSampler {
+					// The acceptance criterion: zero sampler rounds on the
+					// second run, stage reported as "sampler(cached)".
+					if rounds := rec.roundCount("sampler"); rounds != 0 {
+						t.Fatalf("cached run executed %d sampler rounds, want 0", rounds)
+					}
+					want := repro.PhaseCost{Name: "sampler(cached)"}
+					if run2.Phases[0] != want {
+						t.Fatalf("cached run phase[0] = %+v, want %+v", run2.Phases[0], want)
+					}
+					// Every non-sampler phase is unchanged: the cached spanner
+					// carries exactly the same collections.
+					if len(run2.Phases) != len(fresh.Phases) {
+						t.Fatalf("cached run has %d phases, fresh %d", len(run2.Phases), len(fresh.Phases))
+					}
+					for i := 1; i < len(run2.Phases); i++ {
+						if run2.Phases[i] != fresh.Phases[i] {
+							t.Fatalf("phase %d: cached %+v != fresh %+v", i, run2.Phases[i], fresh.Phases[i])
+						}
+					}
+					if run2.Messages >= fresh.Messages {
+						t.Fatalf("cached run cost %d messages, not below fresh %d", run2.Messages, fresh.Messages)
+					}
+				} else {
+					// No stage-1 to cache: repeated runs must be identical in
+					// full, ledger included.
+					if len(run2.Phases) != len(fresh.Phases) {
+						t.Fatalf("repeat run has %d phases, fresh %d", len(run2.Phases), len(fresh.Phases))
+					}
+					for i := range run2.Phases {
+						if run2.Phases[i] != fresh.Phases[i] {
+							t.Fatalf("phase %d: repeat %+v != fresh %+v", i, run2.Phases[i], fresh.Phases[i])
+						}
+					}
+				}
+
+				// After Reset the engine reconstructs from scratch and must
+				// land on the same outputs and the same full-cost ledger.
+				shared.Reset()
+				rec.clear()
+				run3, err := shared.RunScheme(ctx, s, g, alg.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameOutputs(t, "post-reset run", run3.Outputs, fresh.Outputs)
+				if len(run3.Phases) != len(fresh.Phases) {
+					t.Fatalf("post-reset run has %d phases, fresh %d", len(run3.Phases), len(fresh.Phases))
+				}
+				for i := range run3.Phases {
+					if run3.Phases[i] != fresh.Phases[i] {
+						t.Fatalf("post-reset phase %d: %+v != fresh %+v", i, run3.Phases[i], fresh.Phases[i])
+					}
+				}
+				if usesSampler && rec.roundCount("sampler") == 0 {
+					t.Fatal("post-reset run did not rebuild the spanner")
+				}
+			})
+		}
+	}
+}
+
+// TestWithNoCache pins the opt-out: a WithNoCache engine reconstructs the
+// sampler spanner on every run.
+func TestWithNoCache(t *testing.T) {
+	g := testGraph()
+	rec := newPhaseRecorder()
+	eng := repro.NewEngine(repro.WithSeed(7), repro.WithNoCache(), repro.WithObserver(rec))
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Run(context.Background(), "scheme1", g, repro.MaxID(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := rec.phaseNameCount("sampler"); n != 2 {
+		t.Fatalf("%d sampler constructions with cache disabled, want 2", n)
+	}
+	if n := rec.phaseNameCount("sampler(cached)"); n != 0 {
+		t.Fatalf("%d cache hits with cache disabled, want 0", n)
+	}
+}
+
+// TestBuildSpannerCached checks that BuildSpanner shares the engine cache —
+// the second call is a hit with the identical edge set — and that mutating a
+// returned Spanner cannot corrupt the cached artifact.
+func TestBuildSpannerCached(t *testing.T) {
+	g := testGraph()
+	rec := newPhaseRecorder()
+	eng := repro.NewEngine(repro.WithSeed(3), repro.WithObserver(rec))
+	first, err := eng.BuildSpanner(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the caller's copy: the cache must be unaffected.
+	for id := range first.Edges {
+		delete(first.Edges, id)
+		break
+	}
+	second, err := eng.BuildSpanner(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Edges) != len(first.Edges)+1 {
+		t.Fatalf("cached spanner has %d edges, want %d", len(second.Edges), len(first.Edges)+1)
+	}
+	if second.StretchBound != first.StretchBound {
+		t.Fatalf("stretch drifted: %d != %d", second.StretchBound, first.StretchBound)
+	}
+	if second.Rounds != first.Rounds || second.Messages != first.Messages {
+		t.Fatalf("cached spanner cost (%d, %d) != original (%d, %d)",
+			second.Rounds, second.Messages, first.Rounds, first.Messages)
+	}
+	if got := rec.phaseNameCount("sampler"); got != 1 {
+		t.Fatalf("%d sampler constructions, want 1", got)
+	}
+	if got := rec.phaseNameCount("sampler(cached)"); got != 1 {
+		t.Fatalf("%d cache hits, want 1", got)
+	}
+}
+
+// TestEngineCacheSingleFlight drives one shared engine from many goroutines
+// at the same cache key (run under -race in CI): exactly one goroutine must
+// build the spanner, the rest must coalesce onto it, and every run must
+// produce the fresh engine's outputs.
+func TestEngineCacheSingleFlight(t *testing.T) {
+	g := testGraph()
+	spec := repro.MaxID(3)
+	const seed, workers = 5, 8
+	want, err := repro.NewEngine(repro.WithSeed(seed)).Run(context.Background(), "scheme1", g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newPhaseRecorder()
+	eng := repro.NewEngine(repro.WithSeed(seed), repro.WithObserver(rec))
+	results := make([]*repro.SimulationResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = eng.Run(context.Background(), "scheme1", g, spec)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		sameOutputs(t, fmt.Sprintf("goroutine %d", i), results[i].Outputs, want.Outputs)
+	}
+	if built := rec.phaseNameCount("sampler"); built != 1 {
+		t.Fatalf("%d sampler constructions across %d concurrent runs, want 1 (single flight)", built, workers)
+	}
+	if hits := rec.phaseNameCount("sampler(cached)"); hits != workers-1 {
+		t.Fatalf("%d cache hits, want %d", hits, workers-1)
 	}
 }
 

@@ -32,6 +32,13 @@
 // registered with WithObserver stream round- and phase-completion events
 // while a simulation is in flight.
 //
+// An Engine memoizes its stage-1 Sampler spanners across Runs keyed by
+// (graph, seed, spanner parameters) — the paper's amortization story —
+// so repeated simulations at the same key pay the construction only once;
+// see Engine for details, Engine.Reset to drop the cache, and WithNoCache
+// to opt out. Replays of collected balls fan out over a worker pool under
+// WithConcurrency with byte-identical outputs at every concurrency level.
+//
 // Graph construction, generators, target algorithms, and the LOCAL runtime
 // live in the internal packages (internal/graph, internal/graph/gen,
 // internal/algorithms, internal/local); the most useful types are aliased

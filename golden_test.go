@@ -1,0 +1,135 @@
+package repro_test
+
+// Golden seed-equivalence tests for the deprecated wrappers (deprecated.go).
+// Each wrapper runs on a pinned graph and seed and its full result — cost
+// ledger and every node output — is compared byte for byte against a
+// committed golden file, so future refactors cannot silently drift the
+// legacy API. Regenerate with:
+//
+//	go test -run TestDeprecatedGolden -update-golden .
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/graph/gen"
+	"repro/internal/xrand"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files under testdata/golden")
+
+// goldenGraph is the pinned input: construction is fully deterministic, so
+// the same graph is rebuilt in every run of the suite.
+func goldenGraph() *repro.Graph {
+	return gen.ConnectedGNP(36, 0.12, xrand.New(77))
+}
+
+// renderResult serializes a simulation result into the stable line format
+// the golden files use.
+func renderResult(res *repro.SimulationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheme=%s rounds=%d messages=%d stretch=%d spannerEdges=%d\n",
+		res.Scheme, res.Rounds, res.Messages, res.StretchUsed, res.SpannerEdges)
+	for _, ph := range res.Phases {
+		fmt.Fprintf(&b, "phase %s rounds=%d messages=%d\n", ph.Name, ph.Rounds, ph.Messages)
+	}
+	for v, out := range res.Outputs {
+		fmt.Fprintf(&b, "node %d %v\n", v, out)
+	}
+	return b.String()
+}
+
+// renderSpanner serializes a built spanner: certificate, costs, and the
+// sorted edge set.
+func renderSpanner(sp *repro.Spanner) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stretchBound=%d rounds=%d messages=%d edges=%d\n",
+		sp.StretchBound, sp.Rounds, sp.Messages, len(sp.Edges))
+	ids := make([]repro.EdgeID, 0, len(sp.Edges))
+	for id := range sp.Edges {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Fprintf(&b, "edge %d\n", id)
+	}
+	return b.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s drifted from its golden output.\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestDeprecatedGolden pins every deprecated entry point against committed
+// golden output at a fixed (graph, seed).
+func TestDeprecatedGolden(t *testing.T) {
+	g := goldenGraph()
+	spec := repro.MaxID(3)
+	const seed, gamma, stageK = 5, 1, 2
+
+	t.Run("rundirect", func(t *testing.T) {
+		res, err := repro.RunDirect(g, spec, seed, repro.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "rundirect", renderResult(res))
+	})
+	t.Run("scheme1", func(t *testing.T) {
+		res, err := repro.SimulateScheme1(g, spec, gamma, seed, repro.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "scheme1", renderResult(res))
+	})
+	t.Run("scheme2", func(t *testing.T) {
+		res, err := repro.SimulateScheme2(g, spec, gamma, stageK, seed, repro.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "scheme2", renderResult(res))
+	})
+	t.Run("scheme2en", func(t *testing.T) {
+		res, err := repro.SimulateScheme2EN(g, spec, gamma, stageK, seed, repro.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "scheme2en", renderResult(res))
+	})
+	t.Run("spanner-centralized", func(t *testing.T) {
+		sp, err := repro.BuildSpanner(g, repro.SpannerOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "spanner-centralized", renderSpanner(sp))
+	})
+	t.Run("spanner-distributed", func(t *testing.T) {
+		sp, err := repro.BuildSpanner(g, repro.SpannerOptions{Seed: seed, Distributed: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "spanner-distributed", renderSpanner(sp))
+	})
+}

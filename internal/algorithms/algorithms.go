@@ -24,7 +24,10 @@ type Spec struct {
 	Name string
 	// T is the fixed round budget; instances halt at round T.
 	T int
-	// New builds the protocol instance for a node.
+	// New builds the protocol instance for a node. The simulation replays
+	// collected balls on concurrent workers, so New (and Output) may be
+	// invoked from multiple goroutines at once and must not mutate state
+	// shared across calls.
 	New func(v graph.NodeID) local.Protocol
 	// Output extracts a node's final output from its protocol instance. The
 	// returned value must be comparable with == for fidelity checks.

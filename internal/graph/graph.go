@@ -229,6 +229,35 @@ func (g *Graph) SubgraphByEdges(keep map[EdgeID]bool) (*Graph, error) {
 	return h, nil
 }
 
+// Fingerprint returns a 64-bit FNV-1a digest of the graph's structure: the
+// node count followed by every edge's (ID, U, V) in insertion order. Two
+// graphs built by the same construction sequence share a fingerprint, and
+// any mutation (adding an edge) changes it, so it serves as the
+// graph-identity component of cache keys. Callers guarding against the
+// (astronomically unlikely) 64-bit collision should additionally key on
+// NumNodes and NumEdges.
+func (g *Graph) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(g.n))
+	for _, e := range g.edges {
+		mix(uint64(e.ID))
+		mix(uint64(e.U))
+		mix(uint64(e.V))
+	}
+	return h
+}
+
 // SimpleEdgeCount returns the number of distinct node pairs connected by at
 // least one edge (i.e. |E| of the underlying simple graph).
 func (g *Graph) SimpleEdgeCount() int {

@@ -77,24 +77,88 @@ func (r *SchemeResult) TotalRounds() int {
 	return t
 }
 
+// Stage1 is a built stage-1 Sampler spanner together with its materialized
+// host subgraph — the reusable artifact of the paper's amortization story:
+// the one-off construction whose cost is shared by every collection that
+// floods over it. A Stage1 is immutable once built and safe to share across
+// concurrent pipeline runs (collections and replays only read it).
+type Stage1 struct {
+	// S is the spanner edge set.
+	S map[graph.EdgeID]bool
+	// Host is the materialized subgraph H = (V, S) that collections flood.
+	Host *graph.Graph
+	// Stretch is the certified stretch bound 2·3^K − 1.
+	Stretch int
+	// Rounds and Messages are the construction's costs.
+	Rounds   int
+	Messages int64
+}
+
+// Stage1Source supplies the stage-1 spanner for a scheme pipeline, together
+// with the phase cost the pipeline should account for it. BuildStage1 is the
+// default source (a fresh construction, phase "sampler"); an engine-level
+// cache substitutes a source that returns a memoized Stage1 under the
+// zero-cost phase "sampler(cached)".
+type Stage1Source func(ctx context.Context, g *graph.Graph, p core.Params, seed uint64, cfg local.Config, hooks Hooks) (*Stage1, PhaseCost, error)
+
+// BuildStage1 runs the distributed Sampler on g and materializes the host
+// subgraph. Round events stream through hooks under phase "sampler"; the
+// caller is responsible for firing PhaseDone with the returned cost (so a
+// caching layer can substitute its own phase label on hits).
+func BuildStage1(ctx context.Context, g *graph.Graph, p core.Params, seed uint64, cfg local.Config, hooks Hooks) (*Stage1, PhaseCost, error) {
+	sp, err := core.BuildDistributedCtx(ctx, g, p, seed, hooks.RoundConfig(cfg, "sampler"))
+	if err != nil {
+		return nil, PhaseCost{}, err
+	}
+	host, err := g.SubgraphByEdges(sp.S)
+	if err != nil {
+		return nil, PhaseCost{}, err
+	}
+	st1 := &Stage1{
+		S:        sp.S,
+		Host:     host,
+		Stretch:  sp.StretchBound(),
+		Rounds:   sp.Run.Rounds,
+		Messages: sp.Run.Messages,
+	}
+	return st1, PhaseCost{Name: "sampler", Rounds: sp.Run.Rounds, Messages: sp.Run.Messages}, nil
+}
+
+// replayWorkers translates a simulator config into ParallelFor's concurrency
+// knob: sequential runs replay sequentially, concurrent runs fan out over
+// the configured worker count (GOMAXPROCS when unset).
+func replayWorkers(cfg local.Config) int {
+	if !cfg.Concurrent {
+		return 0
+	}
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return -1
+}
+
 // Scheme1 implements Theorem 3's first trade-off: build a spanner with the
 // distributed Sampler (parameter γ = p.K), then t-local-broadcast the
 // initial knowledge by flooding the spanner for stretch·t rounds. Round
 // complexity O(3^γ·t + 6^γ); message complexity Õ(t·n^{1+2/(2^{γ+1}−1)})
 // with the paper's parameter coupling h = 2^{γ+1}−1.
 func Scheme1(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core.Params, seed uint64, cfg local.Config, hooks Hooks) (*SchemeResult, error) {
-	sp, err := core.BuildDistributedCtx(ctx, g, p, seed, hooks.RoundConfig(cfg, "sampler"))
+	return Scheme1Src(ctx, g, spec, p, seed, cfg, hooks, nil)
+}
+
+// Scheme1Src is Scheme1 with a pluggable stage-1 source (nil means a fresh
+// construction per call). An engine-level spanner cache passes its memoized
+// source here so that repeated runs amortize the construction.
+func Scheme1Src(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core.Params, seed uint64, cfg local.Config, hooks Hooks, src Stage1Source) (*SchemeResult, error) {
+	if src == nil {
+		src = BuildStage1
+	}
+	st1, samplerCost, err := src(ctx, g, p, seed, cfg, hooks)
 	if err != nil {
 		return nil, fmt.Errorf("scheme1 spanner: %w", err)
 	}
-	samplerCost := PhaseCost{Name: "sampler", Rounds: sp.Run.Rounds, Messages: sp.Run.Messages}
 	hooks.PhaseDone(samplerCost)
-	h, err := g.SubgraphByEdges(sp.S)
-	if err != nil {
-		return nil, err
-	}
-	alpha := sp.StretchBound()
-	coll, err := Collect(ctx, g, h, alpha*spec.T, seed, hooks.RoundConfig(cfg, "collect"))
+	coll, err := Collect(ctx, g, st1.Host, st1.Stretch*spec.T, seed, hooks.RoundConfig(cfg, "collect"))
 	if err != nil {
 		return nil, fmt.Errorf("scheme1 collection: %w", err)
 	}
@@ -103,9 +167,9 @@ func Scheme1(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core.P
 	return &SchemeResult{
 		Coll:         coll,
 		Phases:       []PhaseCost{samplerCost, collectCost},
-		StretchUsed:  alpha,
-		SpannerEdges: len(sp.S),
-		FinalSpanner: sp.S,
+		StretchUsed:  st1.Stretch,
+		SpannerEdges: len(st1.S),
+		FinalSpanner: st1.S,
 	}, nil
 }
 
@@ -175,18 +239,21 @@ func Scheme2(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core.P
 //     algorithm;
 //  3. H′ carries the final collection for the target algorithm.
 func Scheme2With(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core.Params, st2 Stage2, seed uint64, cfg local.Config, hooks Hooks) (*SchemeResult, error) {
+	return Scheme2WithSrc(ctx, g, spec, p, st2, seed, cfg, hooks, nil)
+}
+
+// Scheme2WithSrc is Scheme2With with a pluggable stage-1 source (nil means a
+// fresh construction per call); see Scheme1Src.
+func Scheme2WithSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core.Params, st2 Stage2, seed uint64, cfg local.Config, hooks Hooks, src Stage1Source) (*SchemeResult, error) {
+	if src == nil {
+		src = BuildStage1
+	}
 	// Stage 1: Sampler spanner.
-	sp, err := core.BuildDistributedCtx(ctx, g, p, seed, hooks.RoundConfig(cfg, "sampler"))
+	st1, samplerCost, err := src(ctx, g, p, seed, cfg, hooks)
 	if err != nil {
 		return nil, fmt.Errorf("scheme2 stage-1 spanner: %w", err)
 	}
-	samplerCost := PhaseCost{Name: "sampler", Rounds: sp.Run.Rounds, Messages: sp.Run.Messages}
 	hooks.PhaseDone(samplerCost)
-	h1, err := g.SubgraphByEdges(sp.S)
-	if err != nil {
-		return nil, err
-	}
-	alpha1 := sp.StretchBound()
 
 	// Stage 2: simulate the off-the-shelf construction over H1.
 	st2Spec := algorithms.Spec{
@@ -199,20 +266,28 @@ func Scheme2With(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p co
 			return st2.Output(pr)
 		},
 	}
-	coll2, err := Collect(ctx, g, h1, alpha1*st2.T, seed, hooks.RoundConfig(cfg, st2.Name))
+	coll2, err := Collect(ctx, g, st1.Host, st1.Stretch*st2.T, seed, hooks.RoundConfig(cfg, st2.Name))
 	if err != nil {
 		return nil, fmt.Errorf("scheme2 stage-2 collection: %w", err)
 	}
-	h2edges := make(map[graph.EdgeID]bool)
-	for v := 0; v < g.NumNodes(); v++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	// The per-node replays are independent; fan them out and merge the
+	// incident edge sets afterwards (set union is order-independent, so the
+	// merged spanner is identical at every concurrency level).
+	nodeEdges := make([]map[graph.EdgeID]bool, g.NumNodes())
+	err = core.ParallelFor(ctx, g.NumNodes(), replayWorkers(cfg), func(v int) error {
 		out, err := coll2.Replay(st2Spec, graph.NodeID(v))
 		if err != nil {
-			return nil, fmt.Errorf("scheme2 stage-2 replay at %d: %w", v, err)
+			return fmt.Errorf("scheme2 stage-2 replay at %d: %w", v, err)
 		}
-		for e := range out.(map[graph.EdgeID]bool) {
+		nodeEdges[v] = out.(map[graph.EdgeID]bool)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	h2edges := make(map[graph.EdgeID]bool)
+	for _, edges := range nodeEdges {
+		for e := range edges {
 			h2edges[e] = true
 		}
 	}

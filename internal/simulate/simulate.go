@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/broadcast"
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/local"
 )
@@ -233,20 +234,32 @@ func (c *Collection) Replay(spec algorithms.Spec, v graph.NodeID) (any, error) {
 	return spec.Output(protos[idx[v]]), nil
 }
 
-// ReplayAll replays every node and returns the full output vector.
-// Cancelling ctx aborts between node replays (each replay is one small-ball
-// local re-execution, so aborts land within one node's work).
+// ReplayAll replays every node sequentially and returns the full output
+// vector. It is ReplayAllN with concurrency 0; cancelling ctx aborts between
+// node replays (each replay is one small-ball local re-execution, so aborts
+// land within one node's work).
 func (c *Collection) ReplayAll(ctx context.Context, spec algorithms.Spec) ([]any, error) {
+	return c.ReplayAllN(ctx, spec, 0)
+}
+
+// ReplayAllN replays every node and returns the full output vector, fanning
+// the independent per-node re-executions out over a worker pool. The
+// concurrency knob follows the facade convention: 0 sequential, w > 0 that
+// many workers, w < 0 GOMAXPROCS. Output slots are indexed by node, so the
+// result is byte-identical at every concurrency level; cancelling ctx aborts
+// between node replays.
+func (c *Collection) ReplayAllN(ctx context.Context, spec algorithms.Spec, concurrency int) ([]any, error) {
 	out := make([]any, len(c.Ports))
-	for v := range c.Ports {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	err := core.ParallelFor(ctx, len(c.Ports), concurrency, func(v int) error {
 		o, err := c.Replay(spec, graph.NodeID(v))
 		if err != nil {
-			return nil, fmt.Errorf("node %d: %w", v, err)
+			return fmt.Errorf("node %d: %w", v, err)
 		}
 		out[v] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -10,7 +10,10 @@ type PhaseCost = simulate.PhaseCost
 // RoundCompleted fires after every LOCAL round the pipeline executes,
 // labeled with the phase it belongs to ("sampler", "simulate-bs",
 // "simulate-en", "collect", "direct", "gossip"); PhaseCompleted fires when a
-// whole pipeline stage finishes, with its cost. Within a single Run,
+// whole pipeline stage finishes, with its cost. A run that reuses the
+// engine's cached stage-1 spanner executes no sampler rounds at all: it
+// fires no "sampler" round events and reports the stage as a single
+// PhaseCompleted with Name "sampler(cached)" and zero rounds and messages. Within a single Run,
 // callbacks fire on that run's coordinating goroutine and are never
 // invoked concurrently with each other; an observer shared by concurrent
 // Runs is called from each run's goroutine and must be safe for concurrent

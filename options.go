@@ -22,7 +22,11 @@ type Options struct {
 	// Concurrency selects the execution engine: 0 runs the sequential
 	// engine, n > 0 the concurrent engine with n workers, and n < 0 the
 	// concurrent engine with GOMAXPROCS workers. Both engines produce
-	// bit-identical executions; this is purely a wall-clock knob.
+	// bit-identical executions and outputs; this is purely a wall-clock
+	// knob. Note that under n != 0 the scheme pipelines also replay
+	// collected balls on concurrent workers, so an AlgorithmSpec's New and
+	// Output callbacks may be invoked from multiple goroutines and must be
+	// safe for concurrent use (the built-in algorithm constructors are).
 	Concurrency int
 	// MaxRounds bounds protocols that manage their own halting. The
 	// pipeline stages with fixed schedules (sampler, collections, direct
@@ -48,6 +52,14 @@ type Options struct {
 	// Observers receive round- and phase-completion events while a
 	// simulation runs.
 	Observers []Observer
+	// NoCache disables the engine's stage-1 spanner cache: every Run and
+	// BuildSpanner then constructs the Sampler spanner from scratch.
+	NoCache bool
+
+	// stage1 supplies stage-1 spanners to the scheme pipelines. The Engine
+	// points it at its memoized cache on each Run's private Options copy;
+	// nil means a fresh construction per run.
+	stage1 simulate.Stage1Source
 }
 
 // Option mutates Options; pass them to NewEngine.
@@ -88,6 +100,11 @@ func WithSpannerParams(k, h int, c float64) Option {
 		o.SpannerK, o.SpannerH, o.SpannerC = k, h, c
 	}
 }
+
+// WithNoCache disables the engine's stage-1 spanner cache, forcing every
+// Run and BuildSpanner to construct the Sampler spanner from scratch (the
+// pre-cache behaviour, useful for benchmarking the full pipeline cost).
+func WithNoCache() Option { return func(o *Options) { o.NoCache = true } }
 
 // WithObserver registers an observer for round- and phase-completion
 // events. May be given multiple times; observers are notified in

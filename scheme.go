@@ -163,11 +163,11 @@ func init() {
 		desc:     "Theorem 3 (i): Sampler spanner + stretch·t-round collection",
 		validate: validateGamma,
 		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
-			res, err := simulate.Scheme1(ctx, g, spec, o.samplerParams(), o.Seed, o.localConfig(), o.hooks())
+			res, err := simulate.Scheme1Src(ctx, g, spec, o.samplerParams(), o.Seed, o.localConfig(), o.hooks(), o.stage1)
 			if err != nil {
 				return nil, err
 			}
-			return replayResult(ctx, "scheme1", res, spec)
+			return replayResult(ctx, "scheme1", res, spec, o)
 		},
 	})
 	mustRegister(&schemeFunc{
@@ -175,12 +175,12 @@ func init() {
 		desc:     "Theorem 3 (ii): Sampler spanner simulates Baswana–Sen, whose spanner collects",
 		validate: validateStageK,
 		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
-			res, err := simulate.Scheme2With(ctx, g, spec, o.samplerParams(),
-				simulate.BaswanaSenStage2(o.StageK), o.Seed, o.localConfig(), o.hooks())
+			res, err := simulate.Scheme2WithSrc(ctx, g, spec, o.samplerParams(),
+				simulate.BaswanaSenStage2(o.StageK), o.Seed, o.localConfig(), o.hooks(), o.stage1)
 			if err != nil {
 				return nil, err
 			}
-			return replayResult(ctx, "scheme2", res, spec)
+			return replayResult(ctx, "scheme2", res, spec, o)
 		},
 	})
 	mustRegister(&schemeFunc{
@@ -188,12 +188,12 @@ func init() {
 		desc:     "scheme2 with Elkin–Neiman as the simulated stage (k+O(1) rounds vs O(k²))",
 		validate: validateStageK,
 		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
-			res, err := simulate.Scheme2With(ctx, g, spec, o.samplerParams(),
-				simulate.ElkinNeimanStage2(o.StageK), o.Seed, o.localConfig(), o.hooks())
+			res, err := simulate.Scheme2WithSrc(ctx, g, spec, o.samplerParams(),
+				simulate.ElkinNeimanStage2(o.StageK), o.Seed, o.localConfig(), o.hooks(), o.stage1)
 			if err != nil {
 				return nil, err
 			}
-			return replayResult(ctx, "scheme2en", res, spec)
+			return replayResult(ctx, "scheme2en", res, spec, o)
 		},
 	})
 	mustRegister(&schemeFunc{
@@ -215,7 +215,7 @@ func init() {
 			}
 			cost := PhaseCost{Name: "gossip", Rounds: cover, Messages: msgs}
 			hooks.PhaseDone(cost)
-			outs, err := coll.ReplayAll(ctx, spec)
+			outs, err := coll.ReplayAllN(ctx, spec, o.Concurrency)
 			if err != nil {
 				return nil, err
 			}
@@ -230,10 +230,11 @@ func init() {
 	})
 }
 
-// replayResult recovers every node's output from a scheme's collection and
-// packages the cost ledger.
-func replayResult(ctx context.Context, scheme string, res *simulate.SchemeResult, spec AlgorithmSpec) (*SimulationResult, error) {
-	outs, err := res.Coll.ReplayAll(ctx, spec)
+// replayResult recovers every node's output from a scheme's collection —
+// fanning the independent per-node replays out over a worker pool under
+// WithConcurrency — and packages the cost ledger.
+func replayResult(ctx context.Context, scheme string, res *simulate.SchemeResult, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
+	outs, err := res.Coll.ReplayAllN(ctx, spec, o.Concurrency)
 	if err != nil {
 		return nil, err
 	}
