@@ -34,18 +34,20 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		kind     = flag.String("graph", "complete", "graph family: gnp|complete|grid|hypercube|barbell")
-		n        = flag.Int("n", 300, "node count")
-		deg      = flag.Float64("deg", 16, "average degree for gnp")
-		alg      = flag.String("alg", "maxid", "algorithm: maxid|mis|coloring|bfs")
-		t        = flag.Int("t", 4, "round budget for maxid/bfs (mis/coloring use their whp budgets)")
-		scheme   = flag.String("scheme", "scheme1", "execution scheme: "+strings.Join(repro.SchemeNames(), "|"))
-		gamma    = flag.Int("gamma", 1, "Sampler level parameter for the schemes")
-		stageK   = flag.Int("stagek", 2, "stage-2 stretch parameter for scheme2/scheme2en")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		repeat   = flag.Int("repeat", 1, "run the scheme this many times on one engine; repeats reuse the cached stage-1 spanner")
-		progress = flag.Bool("progress", false, "stream live per-round progress from the observer")
-		nocache  = flag.Bool("nocache", false, "disable the engine's stage-1 spanner cache")
+		kind       = flag.String("graph", "complete", "graph family: gnp|complete|grid|hypercube|barbell")
+		n          = flag.Int("n", 300, "node count")
+		deg        = flag.Float64("deg", 16, "average degree for gnp")
+		alg        = flag.String("alg", "maxid", "algorithm: maxid|mis|coloring|bfs")
+		t          = flag.Int("t", 4, "round budget for maxid/bfs (mis/coloring use their whp budgets)")
+		scheme     = flag.String("scheme", "scheme1", "execution scheme: "+strings.Join(repro.SchemeNames(), "|"))
+		gamma      = flag.Int("gamma", 1, "Sampler level parameter for the schemes")
+		stageK     = flag.Int("stagek", 2, "stage-2 stretch parameter for scheme2/scheme2en")
+		bandwidth  = flag.Int("bandwidth", 0, "CONGEST word cap per edge per round for scheme1-congest (0 = ceil(log2 n))")
+		hybridFrac = flag.Float64("hybridfrac", 0.5, "fraction of t-balls the hybrid scheme's gossip stage seeds, in (0,1]")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		repeat     = flag.Int("repeat", 1, "run the scheme this many times on one engine; repeats reuse the cached stage-1 spanner")
+		progress   = flag.Bool("progress", false, "stream live per-round progress from the observer")
+		nocache    = flag.Bool("nocache", false, "disable the engine's stage-1 spanner cache")
 	)
 	flag.Parse()
 
@@ -62,7 +64,13 @@ func main() {
 		repro.WithConcurrency(-1),
 		repro.WithGamma(*gamma),
 		repro.WithStageK(*stageK),
+		repro.WithHybridFraction(*hybridFrac),
 		repro.WithObserver(progressObserver(*progress)),
+	}
+	if *bandwidth != 0 {
+		// Negative values flow through so the engine's validation rejects
+		// them loudly instead of silently falling back to the auto cap.
+		opts = append(opts, repro.WithBandwidth(*bandwidth))
 	}
 	if *nocache {
 		opts = append(opts, repro.WithNoCache())
@@ -95,7 +103,11 @@ func main() {
 		fmt.Printf("%s: rounds=%d messages=%d (%.2fx direct)\n",
 			res.Scheme, res.Rounds, res.Messages, float64(res.Messages)/float64(direct.Messages))
 		for _, ph := range res.Phases {
-			fmt.Printf("  %-16s rounds=%-6d messages=%d\n", ph.Name, ph.Rounds, ph.Messages)
+			fmt.Printf("  %-16s rounds=%-6d messages=%d", ph.Name, ph.Rounds, ph.Messages)
+			if ph.Dilation != 0 {
+				fmt.Printf(" (congest dilation %.2fx)", ph.Dilation)
+			}
+			fmt.Println()
 		}
 		if res.SpannerEdges > 0 {
 			fmt.Printf("  carrier spanner: %d edges, stretch bound %d\n", res.SpannerEdges, res.StretchUsed)

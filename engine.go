@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"sync"
@@ -10,6 +11,12 @@ import (
 	"repro/internal/local"
 	"repro/internal/simulate"
 )
+
+// DefaultCacheSize is the stage-1 spanner cache's capacity when
+// WithCacheSize is not given: enough for a healthy experiment sweep, small
+// enough that a long-lived engine crossing many (graph, seed, parameter)
+// keys stays bounded.
+const DefaultCacheSize = 32
 
 // Engine executes simulations under one fixed, validated configuration. It
 // is cheap to construct, its configuration is immutable after construction,
@@ -42,6 +49,8 @@ type Engine struct {
 
 	mu       sync.Mutex
 	spanners map[spannerKey]*spannerEntry
+	lru      *list.List // of spannerKey; front = most recently used
+	cap      int
 }
 
 // spannerKey identifies one cached stage-1 construction: exactly the inputs
@@ -61,18 +70,28 @@ type spannerKey struct {
 // spannerEntry is one cache slot. The creator builds the artifact and closes
 // ready; waiters block on ready (or their own context). A failed or
 // cancelled build is removed from the map so it does not poison the key.
+// elem is the entry's recency-list slot, guarded by the engine mutex; it is
+// nil once the entry has been evicted or removed.
 type spannerEntry struct {
 	ready chan struct{}
 	st1   *simulate.Stage1
 	err   error
+	elem  *list.Element
 }
 
 // NewEngine builds an engine from functional options (see the With*
 // functions). Unset options fall back to the paper's canonical defaults.
 func NewEngine(opts ...Option) *Engine {
+	o := newOptions(opts)
+	size := o.CacheSize
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
 	return &Engine{
-		opts:     newOptions(opts),
+		opts:     o,
 		spanners: make(map[spannerKey]*spannerEntry),
+		lru:      list.New(),
+		cap:      size,
 	}
 }
 
@@ -90,6 +109,7 @@ func (e *Engine) Options() Options {
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	e.spanners = make(map[spannerKey]*spannerEntry)
+	e.lru = list.New()
 	e.mu.Unlock()
 }
 
@@ -115,7 +135,23 @@ func (e *Engine) cachedStage1(ctx context.Context, g *graph.Graph, p core.Params
 		ent, ok := e.spanners[key]
 		if !ok {
 			ent = &spannerEntry{ready: make(chan struct{})}
+			ent.elem = e.lru.PushFront(key)
 			e.spanners[key] = ent
+			// LRU bound: evict the coldest entries beyond capacity (never the
+			// one just admitted). An evicted in-flight build still completes
+			// for its waiters; it is simply no longer re-usable afterwards.
+			for e.lru.Len() > e.cap {
+				back := e.lru.Back()
+				if back == ent.elem {
+					break
+				}
+				bk := back.Value.(spannerKey)
+				if old := e.spanners[bk]; old != nil {
+					old.elem = nil
+				}
+				delete(e.spanners, bk)
+				e.lru.Remove(back)
+			}
 			e.mu.Unlock()
 			st1, cost, err := simulate.BuildStage1(ctx, g, p, seed, cfg, hooks)
 			ent.st1, ent.err = st1, err
@@ -125,12 +161,17 @@ func (e *Engine) cachedStage1(ctx context.Context, g *graph.Graph, p core.Params
 				e.mu.Lock()
 				if e.spanners[key] == ent {
 					delete(e.spanners, key)
+					if ent.elem != nil {
+						e.lru.Remove(ent.elem)
+						ent.elem = nil
+					}
 				}
 				e.mu.Unlock()
 			}
 			close(ent.ready)
 			return st1, cost, err
 		}
+		e.lru.MoveToFront(ent.elem)
 		e.mu.Unlock()
 		select {
 		case <-ent.ready:
@@ -168,6 +209,20 @@ func (e *Engine) Run(ctx context.Context, scheme string, g *Graph, spec Algorith
 }
 
 // RunScheme executes an already-resolved scheme on g.
+//
+// A positive WithMaxRounds budget is enforced here, uniformly for every
+// scheme: a result whose billed rounds exceed the budget is discarded and
+// the run fails with ErrRoundBudget, and a pipeline whose *executed* rounds
+// overshoot a safety multiple of the budget (a runaway protocol) is
+// cancelled in flight and reported the same way. Schemes with their own
+// schedule semantics (gossip's fixed-length seeding schedule) may execute
+// more rounds than they bill; the budget governs what the result charges.
+// Because it charges only what the run actually spends, the budget
+// interacts with the spanner cache by design: a run that fails the budget
+// on a cold cache (its bill includes the sampler construction) may succeed
+// when repeated, once the cached stage-1 spanner brings the bill down to
+// the collection phases alone — exactly the amortized cost the paper
+// argues for. Budget a cold pipeline with WithNoCache or Reset.
 func (e *Engine) RunScheme(ctx context.Context, s Scheme, g *Graph, spec AlgorithmSpec) (*SimulationResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -183,8 +238,49 @@ func (e *Engine) RunScheme(ctx context.Context, s Scheme, g *Graph, spec Algorit
 	if err := s.Validate(&o); err != nil {
 		return nil, fmt.Errorf("repro: scheme %s: %w", s.Name(), err)
 	}
-	return s.Run(ctx, g, spec, &o)
+	var guard *roundGuard
+	if o.MaxRounds > 0 {
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		guard = &roundGuard{limit: 2*o.MaxRounds + 64, cancel: cancel}
+		o.Observers = append(o.Observers, guard)
+		ctx = runCtx
+	}
+	res, err := s.Run(ctx, g, spec, &o)
+	if guard != nil && guard.hit {
+		return nil, fmt.Errorf("repro: scheme %s: pipeline cancelled after %d executed rounds, far over the %d-round budget: %w",
+			s.Name(), guard.seen, o.MaxRounds, ErrRoundBudget)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if o.MaxRounds > 0 && res.Rounds > o.MaxRounds {
+		return nil, fmt.Errorf("repro: scheme %s billed %d rounds, over the %d-round budget: %w",
+			s.Name(), res.Rounds, o.MaxRounds, ErrRoundBudget)
+	}
+	return res, nil
 }
+
+// roundGuard is the engine's runaway backstop: an observer that counts every
+// executed LOCAL round of a run and cancels the run's context once the count
+// passes its limit. It runs on the run's coordinating goroutine, like every
+// observer, so its fields need no further synchronization.
+type roundGuard struct {
+	limit  int
+	cancel context.CancelFunc
+	seen   int
+	hit    bool
+}
+
+func (r *roundGuard) RoundCompleted(string, int, int64) {
+	r.seen++
+	if r.seen > r.limit && !r.hit {
+		r.hit = true
+		r.cancel()
+	}
+}
+
+func (r *roundGuard) PhaseCompleted(PhaseCost) {}
 
 // BuildSpanner runs the distributed algorithm Sampler (the paper's
 // Section 5) on the connected simple graph g under the engine's options and

@@ -111,8 +111,11 @@ func ExampleSchemes() {
 	}
 	// Output:
 	// direct
+	// globalcompute
 	// gossip
+	// hybrid
 	// scheme1
+	// scheme1-congest
 	// scheme2
 	// scheme2en
 }

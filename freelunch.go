@@ -17,7 +17,12 @@
 //     truth, Θ(t·m) messages), "scheme1" (Theorem 3's first trade-off),
 //     "scheme2" (the two-stage trade-off with Baswana–Sen), "scheme2en"
 //     (the Elkin–Neiman stage anticipated by the paper's concluding
-//     remarks), and "gossip" (the push–pull baseline family). Every scheme
+//     remarks), "scheme1-congest" (scheme1 under a CONGEST-style
+//     WithBandwidth word cap, reporting its round dilation),
+//     "hybrid" (gossip seeds WithHybridFraction of the t-balls, the
+//     Sampler spanner collects the residue), "globalcompute" (the paper's
+//     Section 7 extension: a spanner BFS tree convergecasts all knowledge),
+//     and "gossip" (the push–pull baseline family). Every scheme
 //     produces outputs bit-identical to "direct" at the same seed.
 //
 //   - An Engine holds one validated configuration, built from functional

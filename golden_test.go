@@ -9,6 +9,7 @@ package repro_test
 //	go test -run TestDeprecatedGolden -update-golden .
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,7 +38,11 @@ func renderResult(res *repro.SimulationResult) string {
 	fmt.Fprintf(&b, "scheme=%s rounds=%d messages=%d stretch=%d spannerEdges=%d\n",
 		res.Scheme, res.Rounds, res.Messages, res.StretchUsed, res.SpannerEdges)
 	for _, ph := range res.Phases {
-		fmt.Fprintf(&b, "phase %s rounds=%d messages=%d\n", ph.Name, ph.Rounds, ph.Messages)
+		fmt.Fprintf(&b, "phase %s rounds=%d messages=%d", ph.Name, ph.Rounds, ph.Messages)
+		if ph.Dilation != 0 {
+			fmt.Fprintf(&b, " dilation=%.4f", ph.Dilation)
+		}
+		fmt.Fprintf(&b, "\n")
 	}
 	for v, out := range res.Outputs {
 		fmt.Fprintf(&b, "node %d %v\n", v, out)
@@ -132,4 +137,30 @@ func TestDeprecatedGolden(t *testing.T) {
 		}
 		checkGolden(t, "spanner-distributed", renderSpanner(sp))
 	})
+}
+
+// TestSchemeGolden pins every *registered* scheme against committed golden
+// output at a fixed (graph, seed): full cost ledger (including the CONGEST
+// scheme's round dilation) and every node output. A newly registered scheme
+// fails this test until its golden file is generated with -update-golden —
+// which is exactly the CI drift guard's contract: bit-level behaviour of the
+// registry cannot change silently.
+func TestSchemeGolden(t *testing.T) {
+	g := goldenGraph()
+	spec := repro.MaxID(3)
+	const seed = 5
+	for _, s := range repro.Schemes() {
+		t.Run(s.Name(), func(t *testing.T) {
+			eng := repro.NewEngine(
+				repro.WithSeed(seed),
+				repro.WithGamma(1),
+				repro.WithStageK(2),
+			)
+			res, err := eng.RunScheme(context.Background(), s, g, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, "scheme-"+s.Name(), renderResult(res))
+		})
+	}
 }

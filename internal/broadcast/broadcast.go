@@ -43,7 +43,8 @@ type floodBatch []rumor
 // floodNode floods newly learned rumors to all neighbors each round.
 type floodNode struct {
 	t       int
-	self    any // this node's own message M_v
+	self    any  // this node's own message M_v
+	seed    bool // whether this node injects its own rumor
 	known   map[graph.NodeID]any
 	arrival map[graph.NodeID]int
 	fresh   []rumor
@@ -53,7 +54,9 @@ func (p *floodNode) Step(env *local.Env, round int, inbox []local.Message) {
 	if round == 0 {
 		p.known = map[graph.NodeID]any{env.ID(): p.self}
 		p.arrival = map[graph.NodeID]int{env.ID(): 0}
-		p.fresh = append(p.fresh, rumor{Origin: env.ID(), Payload: p.self})
+		if p.seed {
+			p.fresh = append(p.fresh, rumor{Origin: env.ID(), Payload: p.self})
+		}
 	}
 	for _, m := range inbox {
 		for _, r := range m.Payload.(floodBatch) {
@@ -81,11 +84,25 @@ func (p *floodNode) Step(env *local.Env, round int, inbox []local.Message) {
 // node within host-distance rounds of v, with Arrival equal to that
 // distance. Cancelling ctx aborts the underlying run.
 func Flood(ctx context.Context, host *graph.Graph, payloads []any, rounds int, cfg local.Config) (*Result, error) {
+	return FloodFrom(ctx, host, payloads, nil, rounds, cfg)
+}
+
+// FloodFrom is Flood restricted to a subset of sources: only nodes with
+// seeds[v] true inject their own rumor (nil seeds means every node seeds,
+// recovering Flood). Non-seeding nodes still forward everything they hear and
+// still know their own payload, so the result's Known sets cover, for every
+// node v, the rumor of every seeding node within host-distance rounds plus v
+// itself. The hybrid scheme uses it to collect only the residue that its
+// gossip stage left uncovered.
+func FloodFrom(ctx context.Context, host *graph.Graph, payloads []any, seeds []bool, rounds int, cfg local.Config) (*Result, error) {
 	if host == nil {
 		return nil, fmt.Errorf("broadcast: nil host graph")
 	}
 	if len(payloads) != host.NumNodes() {
 		return nil, fmt.Errorf("broadcast: %d payloads for %d nodes", len(payloads), host.NumNodes())
+	}
+	if seeds != nil && len(seeds) != host.NumNodes() {
+		return nil, fmt.Errorf("broadcast: %d seed flags for %d nodes", len(seeds), host.NumNodes())
 	}
 	if rounds < 0 {
 		return nil, fmt.Errorf("broadcast: negative round budget")
@@ -93,7 +110,7 @@ func Flood(ctx context.Context, host *graph.Graph, payloads []any, rounds int, c
 	nodes := make([]*floodNode, host.NumNodes())
 	cfg.MaxRounds = rounds + 1
 	run, err := local.RunCtx(ctx, host, func(v graph.NodeID) local.Protocol {
-		nd := &floodNode{t: rounds, self: payloads[v]}
+		nd := &floodNode{t: rounds, self: payloads[v], seed: seeds == nil || seeds[v]}
 		nodes[v] = nd
 		return nd
 	}, cfg)
@@ -204,18 +221,39 @@ func Gossip(ctx context.Context, host *graph.Graph, payloads []any, rounds int, 
 // the message cost of achieving t-local broadcast.
 func CoverRound(g *graph.Graph, arrival []map[graph.NodeID]int, t int) int {
 	worst := 0
+	for _, r := range CoverRounds(g, arrival, t) {
+		if r < 0 {
+			return -1
+		}
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// CoverRounds returns, per node, the earliest round by which that node had
+// heard the rumor of every node in its distance-t ball of g (-1 if the run
+// ended before that). It is the per-node refinement of CoverRound: the hybrid
+// scheme uses it to find the round at which a target fraction of nodes is
+// covered.
+func CoverRounds(g *graph.Graph, arrival []map[graph.NodeID]int, t int) []int {
+	out := make([]int, g.NumNodes())
 	for v := 0; v < g.NumNodes(); v++ {
+		worst := 0
 		for _, u := range g.Ball(graph.NodeID(v), t) {
 			r, ok := arrival[v][u]
 			if !ok {
-				return -1
+				worst = -1
+				break
 			}
 			if r > worst {
 				worst = r
 			}
 		}
+		out[v] = worst
 	}
-	return worst
+	return out
 }
 
 // MessagesUpTo sums per-round message counts through the given round

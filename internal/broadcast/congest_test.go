@@ -1,0 +1,121 @@
+package broadcast
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/local"
+	"repro/internal/xrand"
+)
+
+func testPayloads(n int) []any {
+	out := make([]any, n)
+	for v := 0; v < n; v++ {
+		out[v] = []graph.EdgeID{graph.EdgeID(v), graph.EdgeID(v + n)}
+	}
+	return out
+}
+
+// TestFloodBudgetMatchesFlood pins the degenerate case: with bandwidth far
+// above any payload, the budgeted flood must reproduce the LOCAL flood
+// exactly — same knowledge, same arrival rounds, same round and message
+// bill.
+func TestFloodBudgetMatchesFlood(t *testing.T) {
+	g := gen.ConnectedGNP(50, 0.1, xrand.New(3))
+	payloads := testPayloads(g.NumNodes())
+	const rounds = 4
+	plain, err := Flood(context.Background(), g, payloads, rounds, local.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := FloodBudget(context.Background(), g, payloads, rounds, 1<<20, local.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.Run.Rounds != plain.Run.Rounds || budgeted.Run.Messages != plain.Run.Messages {
+		t.Fatalf("unbounded budget bill (%d rounds, %d msgs) != flood bill (%d, %d)",
+			budgeted.Run.Rounds, budgeted.Run.Messages, plain.Run.Rounds, plain.Run.Messages)
+	}
+	if budgeted.Run.PayloadUnits != plain.Run.PayloadUnits {
+		t.Fatalf("payload units %d != %d", budgeted.Run.PayloadUnits, plain.Run.PayloadUnits)
+	}
+	for v := range plain.Known {
+		if len(budgeted.Known[v]) != len(plain.Known[v]) {
+			t.Fatalf("node %d knows %d origins, flood knows %d", v, len(budgeted.Known[v]), len(plain.Known[v]))
+		}
+		for origin, r := range plain.Arrival[v] {
+			if br, ok := budgeted.Arrival[v][origin]; !ok || br != r {
+				t.Fatalf("node %d heard %d at round %d, flood at %d", v, origin, budgeted.Arrival[v][origin], r)
+			}
+		}
+	}
+}
+
+// TestFloodBudgetSplitsAndCovers pins the CONGEST behaviour: a one-word cap
+// must dilate the schedule (payloads are three words each) while still
+// delivering exactly the hop-limited knowledge of the unbudgeted flood.
+func TestFloodBudgetSplitsAndCovers(t *testing.T) {
+	g := gen.ConnectedGNP(50, 0.1, xrand.New(3))
+	payloads := testPayloads(g.NumNodes())
+	const rounds = 4
+	plain, err := Flood(context.Background(), g, payloads, rounds, local.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := FloodBudget(context.Background(), g, payloads, rounds, 1, local.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Run.Rounds <= plain.Run.Rounds {
+		t.Fatalf("one-word cap did not dilate: %d rounds vs %d", narrow.Run.Rounds, plain.Run.Rounds)
+	}
+	for v := range plain.Known {
+		if len(narrow.Known[v]) != len(plain.Known[v]) {
+			t.Fatalf("node %d: budgeted flood knows %d origins, flood %d — bandwidth changed knowledge",
+				v, len(narrow.Known[v]), len(plain.Known[v]))
+		}
+		for origin := range plain.Known[v] {
+			if _, ok := narrow.Known[v][origin]; !ok {
+				t.Fatalf("node %d lost origin %d under the one-word cap", v, origin)
+			}
+		}
+	}
+}
+
+// TestFloodBudgetRejectsBadBandwidth covers the argument contract.
+func TestFloodBudgetRejectsBadBandwidth(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := FloodBudget(context.Background(), g, testPayloads(4), 2, 0, local.Config{}); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+// TestFloodFromSeedsSubset pins the selective flood: only seeded origins
+// circulate, every node still knows itself, and nil seeds means everyone.
+func TestFloodFromSeedsSubset(t *testing.T) {
+	g := gen.Cycle(8)
+	payloads := testPayloads(8)
+	seeds := make([]bool, 8)
+	seeds[0], seeds[4] = true, true
+	res, err := FloodFrom(context.Background(), g, payloads, seeds, 8, local.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		for origin := range res.Known[v] {
+			if int(origin) != v && !seeds[origin] {
+				t.Fatalf("node %d heard unseeded origin %d", v, origin)
+			}
+		}
+		if _, ok := res.Known[v][graph.NodeID(v)]; !ok {
+			t.Fatalf("node %d does not know itself", v)
+		}
+		for _, origin := range []graph.NodeID{0, 4} {
+			if _, ok := res.Known[v][origin]; !ok {
+				t.Fatalf("node %d missed seeded origin %d", v, origin)
+			}
+		}
+	}
+}

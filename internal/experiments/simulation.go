@@ -465,11 +465,11 @@ func E12GlobalCompute(quick bool) Report {
 	}
 	p := core.Default(2, 8)
 	p.C = 0.5
-	direct, err := globalcompute.Direct(g, inputs, globalcompute.Max, 1, local.Config{Concurrent: true})
+	direct, err := globalcompute.Direct(context.Background(), g, inputs, globalcompute.Max, 1, local.Config{Concurrent: true})
 	if err != nil {
 		panic(err)
 	}
-	span, err := globalcompute.OverSpanner(g, inputs, globalcompute.Max, 1, p, 21, local.Config{Concurrent: true})
+	span, err := globalcompute.OverSpanner(context.Background(), g, inputs, globalcompute.Max, 1, p, 21, local.Config{Concurrent: true})
 	if err != nil {
 		panic(err)
 	}

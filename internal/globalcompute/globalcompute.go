@@ -12,9 +12,19 @@
 //     — O(α·D) rounds, O(n) messages.
 //
 // The direct baseline floods the whole graph, paying Θ(D·m) messages.
+//
+// The protocol is generic over the aggregated value: Converge runs it with
+// an arbitrary commutative-associative merge over opaque payloads, which is
+// what the registry's "globalcompute" scheme uses to convergecast every
+// node's port list and replay arbitrary t-round algorithms from the merged
+// table; Direct and OverSpanner keep the paper's int64 aggregation API on
+// top of it. All entry points take a context (cancellation aborts within one
+// node step) and honor local.Config.OnRound, so engine observers see every
+// round of the wave, convergecast, and broadcast phases.
 package globalcompute
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -72,7 +82,7 @@ type gcMsg struct {
 	Kind  gcKind
 	Root  graph.NodeID
 	Dist  int
-	Value int64
+	Value any
 }
 
 type gcKind int
@@ -84,6 +94,41 @@ const (
 	gcDone                     // result flooding down
 )
 
+// PayloadUnits implements local.Sizer: a kind word plus the kind-specific
+// content — (root, dist) for waves, the carried value for aggregates and the
+// final broadcast.
+func (m gcMsg) PayloadUnits() int64 {
+	switch m.Kind {
+	case gcWave:
+		return 3
+	case gcAgg, gcDone:
+		return 1 + valueUnits(m.Value)
+	default:
+		return 1
+	}
+}
+
+// valueUnits sizes a carried aggregate in O(log n)-bit words: scalars are one
+// word, a convergecast table of port lists costs one word per origin plus one
+// per port.
+func valueUnits(v any) int64 {
+	switch t := v.(type) {
+	case map[graph.NodeID][]graph.EdgeID:
+		var u int64
+		for _, ports := range t {
+			u += 1 + int64(len(ports))
+		}
+		return u
+	default:
+		return 1
+	}
+}
+
+// Merge combines two aggregate payloads. It must be commutative and
+// associative up to the equality the caller cares about; it may mutate and
+// return a, but must not retain b's substructure for later mutation.
+type Merge func(a, b any) any
+
 // gcNode runs leader election by min-ID wave + BFS-tree aggregation.
 //
 // Wave phase: every node starts a wave for itself; waves carry (root, dist)
@@ -94,8 +139,8 @@ const (
 // children register, then leaves start the convergecast. Done phase: the
 // root floods the final value down the tree.
 type gcNode struct {
-	input      int64
-	agg        Aggregator
+	input      any
+	merge      Merge
 	waveRounds int
 
 	root     graph.NodeID
@@ -104,9 +149,9 @@ type gcNode struct {
 	hasPar   bool
 	children map[graph.EdgeID]bool
 	pending  map[graph.EdgeID]bool // children that have not reported yet
-	acc      int64
+	acc      any
 	sentUp   bool
-	value    int64
+	value    any
 	haveVal  bool
 }
 
@@ -136,7 +181,7 @@ func (p *gcNode) Step(env *local.Env, round int, inbox []local.Message) {
 				p.pending[m.Edge] = true
 			}
 		case gcAgg:
-			p.acc = p.agg(p.acc, msg.Value)
+			p.acc = p.merge(p.acc, msg.Value)
 			delete(p.pending, m.Edge)
 		case gcDone:
 			if !p.haveVal {
@@ -194,13 +239,23 @@ func (p *gcNode) flood(env *local.Env, msg gcMsg, except graph.EdgeID) {
 	}
 }
 
-// run executes the aggregation protocol on host. waveRounds must be an
-// upper bound on host's diameter.
-func run(host *graph.Graph, inputs []int64, agg Aggregator, waveRounds int, cfg local.Config) ([]int64, local.Result, error) {
+// Converge executes the wave/tree/convergecast/broadcast protocol on host
+// with arbitrary payloads: node v starts with inputs[v], the root merges
+// every input with merge, and the merged value is flooded back down so every
+// node returns it. waveRounds must be an upper bound on host's diameter.
+// Round events stream through cfg.OnRound; cancelling ctx aborts within one
+// node step.
+func Converge(ctx context.Context, host *graph.Graph, inputs []any, merge Merge, waveRounds int, cfg local.Config) ([]any, local.Result, error) {
+	if len(inputs) != host.NumNodes() {
+		return nil, local.Result{}, fmt.Errorf("globalcompute: %d inputs for %d nodes", len(inputs), host.NumNodes())
+	}
+	if waveRounds < 1 {
+		waveRounds = 1
+	}
 	nodes := make([]*gcNode, host.NumNodes())
 	cfg.MaxRounds = waveRounds*3 + host.NumNodes() + 16
-	res, err := local.Run(host, func(v graph.NodeID) local.Protocol {
-		nodes[v] = &gcNode{input: inputs[v], agg: agg, waveRounds: waveRounds}
+	res, err := local.RunCtx(ctx, host, func(v graph.NodeID) local.Protocol {
+		nodes[v] = &gcNode{input: inputs[v], merge: merge, waveRounds: waveRounds}
 		return nodes[v]
 	}, cfg)
 	if err != nil {
@@ -209,7 +264,7 @@ func run(host *graph.Graph, inputs []int64, agg Aggregator, waveRounds int, cfg 
 	if !res.Halted {
 		return nil, res, fmt.Errorf("globalcompute: aggregation did not converge")
 	}
-	out := make([]int64, len(nodes))
+	out := make([]any, len(nodes))
 	for v, nd := range nodes {
 		if !nd.haveVal {
 			return nil, res, fmt.Errorf("globalcompute: node %d finished without a value", v)
@@ -219,13 +274,30 @@ func run(host *graph.Graph, inputs []int64, agg Aggregator, waveRounds int, cfg 
 	return out, res, nil
 }
 
+// run is Converge specialized back to the paper's int64 aggregation.
+func run(ctx context.Context, host *graph.Graph, inputs []int64, agg Aggregator, waveRounds int, cfg local.Config) ([]int64, local.Result, error) {
+	boxed := make([]any, len(inputs))
+	for i, v := range inputs {
+		boxed[i] = v
+	}
+	vals, res, err := Converge(ctx, host, boxed, func(a, b any) any { return agg(a.(int64), b.(int64)) }, waveRounds, cfg)
+	if err != nil {
+		return nil, res, err
+	}
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		out[i] = v.(int64)
+	}
+	return out, res, nil
+}
+
 // Direct computes the aggregate by running the protocol on the raw graph:
 // the Θ(D·m)-message baseline.
-func Direct(g *graph.Graph, inputs []int64, agg Aggregator, diamBound int, cfg local.Config) (*Result, error) {
+func Direct(ctx context.Context, g *graph.Graph, inputs []int64, agg Aggregator, diamBound int, cfg local.Config) (*Result, error) {
 	if len(inputs) != g.NumNodes() {
 		return nil, fmt.Errorf("globalcompute: %d inputs for %d nodes", len(inputs), g.NumNodes())
 	}
-	vals, runRes, err := run(g, inputs, agg, diamBound, cfg)
+	vals, runRes, err := run(ctx, g, inputs, agg, diamBound, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -235,11 +307,11 @@ func Direct(g *graph.Graph, inputs []int64, agg Aggregator, diamBound int, cfg l
 // OverSpanner computes the aggregate over a Sampler spanner: the paper's
 // Section 7 pipeline. diamBound must upper-bound the diameter of g; the
 // spanner's wave deadline is stretched by the certified stretch factor.
-func OverSpanner(g *graph.Graph, inputs []int64, agg Aggregator, diamBound int, p core.Params, seed uint64, cfg local.Config) (*Result, error) {
+func OverSpanner(ctx context.Context, g *graph.Graph, inputs []int64, agg Aggregator, diamBound int, p core.Params, seed uint64, cfg local.Config) (*Result, error) {
 	if len(inputs) != g.NumNodes() {
 		return nil, fmt.Errorf("globalcompute: %d inputs for %d nodes", len(inputs), g.NumNodes())
 	}
-	sp, err := core.BuildDistributed(g, p, seed, cfg)
+	sp, err := core.BuildDistributedCtx(ctx, g, p, seed, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +319,7 @@ func OverSpanner(g *graph.Graph, inputs []int64, agg Aggregator, diamBound int, 
 	if err != nil {
 		return nil, err
 	}
-	vals, runRes, err := run(h, inputs, agg, diamBound*sp.StretchBound(), cfg)
+	vals, runRes, err := run(ctx, h, inputs, agg, diamBound*sp.StretchBound(), cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package globalcompute
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -43,7 +44,7 @@ func TestDirectComputesAggregates(t *testing.T) {
 		in := inputsMod(g.NumNodes())
 		diam := g.NumNodes() // safe bound
 		for _, agg := range []Aggregator{Sum, Min, Max} {
-			res, err := Direct(g, in, agg, diam, local.Config{Seed: 2})
+			res, err := Direct(context.Background(), g, in, agg, diam, local.Config{Seed: 2})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -58,7 +59,7 @@ func TestDirectComputesAggregates(t *testing.T) {
 }
 
 func TestDirectRejectsBadInputs(t *testing.T) {
-	if _, err := Direct(gen.Path(3), []int64{1}, Sum, 3, local.Config{}); err == nil {
+	if _, err := Direct(context.Background(), gen.Path(3), []int64{1}, Sum, 3, local.Config{}); err == nil {
 		t.Fatal("short inputs accepted")
 	}
 }
@@ -68,7 +69,7 @@ func TestOverSpannerMatchesDirect(t *testing.T) {
 	in := inputsMod(g.NumNodes())
 	diam := g.Diameter()
 	p := core.Default(1, 2)
-	res, err := OverSpanner(g, in, Sum, diam, p, 7, local.Config{})
+	res, err := OverSpanner(context.Background(), g, in, Sum, diam, p, 7, local.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +94,11 @@ func TestOverSpannerBeatsDirectOnDense(t *testing.T) {
 	in := inputsMod(g.NumNodes())
 	p := core.Default(2, 8)
 	p.C = 0.5
-	res, err := OverSpanner(g, in, Max, 1, p, 9, local.Config{Concurrent: true})
+	res, err := OverSpanner(context.Background(), g, in, Max, 1, p, 9, local.Config{Concurrent: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := Direct(g, in, Max, 1, local.Config{Concurrent: true})
+	direct, err := Direct(context.Background(), g, in, Max, 1, local.Config{Concurrent: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,11 +119,11 @@ func TestOverSpannerBeatsDirectOnDense(t *testing.T) {
 func TestEnginesAgree(t *testing.T) {
 	g := gen.ConnectedGNP(80, 0.08, xrand.New(4))
 	in := inputsMod(g.NumNodes())
-	a, err := Direct(g, in, Sum, g.NumNodes(), local.Config{Seed: 5})
+	a, err := Direct(context.Background(), g, in, Sum, g.NumNodes(), local.Config{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Direct(g, in, Sum, g.NumNodes(), local.Config{Seed: 5, Concurrent: true})
+	b, err := Direct(context.Background(), g, in, Sum, g.NumNodes(), local.Config{Seed: 5, Concurrent: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestWaveDeadlineTooShortFails(t *testing.T) {
 	// produce wrong values.
 	g := gen.Path(30) // diameter 29
 	in := inputsMod(30)
-	res, err := Direct(g, in, Min, 3, local.Config{})
+	res, err := Direct(context.Background(), g, in, Min, 3, local.Config{})
 	if err != nil {
 		return // acceptable: explicit failure
 	}
@@ -148,4 +149,53 @@ func TestWaveDeadlineTooShortFails(t *testing.T) {
 		}
 	}
 	t.Log("short deadline happened to suffice (waves settle fast on paths)")
+}
+
+// TestConvergeCollectsTables drives the generic payload path the registry's
+// "globalcompute" scheme uses: every node starts with a one-entry table and
+// the merged table, returned at every node, must cover all nodes.
+func TestConvergeCollectsTables(t *testing.T) {
+	g := gen.ConnectedGNP(60, 0.08, xrand.New(9))
+	n := g.NumNodes()
+	inputs := make([]any, n)
+	for v := 0; v < n; v++ {
+		inputs[v] = map[graph.NodeID][]graph.EdgeID{graph.NodeID(v): nil}
+	}
+	merge := func(a, b any) any {
+		ta := a.(map[graph.NodeID][]graph.EdgeID)
+		for k, v := range b.(map[graph.NodeID][]graph.EdgeID) {
+			ta[k] = v
+		}
+		return ta
+	}
+	rounds := 0
+	cfg := local.Config{Seed: 2, OnRound: func(int, int64) { rounds++ }}
+	vals, res, err := Converge(context.Background(), g, inputs, merge, g.Diameter(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, raw := range vals {
+		table := raw.(map[graph.NodeID][]graph.EdgeID)
+		if len(table) != n {
+			t.Fatalf("node %d's table covers %d of %d nodes", v, len(table), n)
+		}
+	}
+	if rounds != res.Rounds {
+		t.Fatalf("OnRound saw %d rounds, result reports %d", rounds, res.Rounds)
+	}
+	if res.Messages == 0 {
+		t.Fatal("convergecast sent no messages")
+	}
+}
+
+// TestConvergeHonorsCancellation pins the ctx port: an already-cancelled
+// context stops the protocol before any value is produced.
+func TestConvergeHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := gen.ConnectedGNP(60, 0.08, xrand.New(9))
+	in := inputsMod(g.NumNodes())
+	if _, err := Direct(ctx, g, in, Sum, g.NumNodes(), local.Config{}); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
 }

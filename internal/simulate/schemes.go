@@ -2,20 +2,36 @@ package simulate
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
+	"sort"
 
 	"repro/internal/algorithms"
+	"repro/internal/broadcast"
 	"repro/internal/core"
+	"repro/internal/globalcompute"
 	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/spanner"
 )
 
-// PhaseCost is one pipeline stage's price.
+// ErrRoundBudget is the typed failure for runs that exceed their round
+// budget: a scheme whose billed rounds overrun the configured MaxRounds, a
+// gossip stage that fails to cover its t-balls within its budget, or a
+// pipeline the engine's runaway guard had to cancel. Callers test for it
+// with errors.Is.
+var ErrRoundBudget = errors.New("simulate: round budget exceeded")
+
+// PhaseCost is one pipeline stage's price. Dilation is nonzero only for
+// bandwidth-budgeted stages: the factor by which the CONGEST-style word cap
+// stretched the stage's round count relative to the unbudgeted LOCAL
+// schedule.
 type PhaseCost struct {
 	Name     string
 	Rounds   int
 	Messages int64
+	Dilation float64
 }
 
 // Hooks observes a scheme pipeline as it runs: Round fires after every
@@ -318,4 +334,220 @@ func Scheme2WithSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p
 // flooding the communication graph itself.
 func DirectBroadcastCost(ctx context.Context, g *graph.Graph, t int, seed uint64, cfg local.Config) (*Collection, error) {
 	return Collect(ctx, g, g, t, seed, cfg)
+}
+
+// Scheme1CongestSrc is Scheme1Src under a CONGEST-style bandwidth budget:
+// the Sampler spanner carries the same stretch·t-hop collection, but every
+// directed spanner edge transmits at most bw words per round, so oversized
+// ball payloads are split across extra rounds. The collection phase is
+// labeled "collect(congest)" and reports its round dilation relative to the
+// unbudgeted LOCAL schedule in PhaseCost.Dilation. Outputs replayed from the
+// collection are bit-identical to direct execution — the bandwidth cap
+// reshapes the schedule, never the knowledge.
+func Scheme1CongestSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core.Params, bw int, seed uint64, cfg local.Config, hooks Hooks, src Stage1Source) (*SchemeResult, error) {
+	if src == nil {
+		src = BuildStage1
+	}
+	st1, samplerCost, err := src(ctx, g, p, seed, cfg, hooks)
+	if err != nil {
+		return nil, fmt.Errorf("scheme1-congest spanner: %w", err)
+	}
+	hooks.PhaseDone(samplerCost)
+	budgetRounds := st1.Stretch * spec.T
+	coll, err := CollectBudget(ctx, g, st1.Host, budgetRounds, bw, seed, hooks.RoundConfig(cfg, "collect(congest)"))
+	if err != nil {
+		return nil, fmt.Errorf("scheme1-congest collection: %w", err)
+	}
+	collectCost := PhaseCost{
+		Name:     "collect(congest)",
+		Rounds:   coll.Run.Rounds,
+		Messages: coll.Run.Messages,
+		Dilation: float64(coll.Run.Rounds) / float64(budgetRounds+1),
+	}
+	hooks.PhaseDone(collectCost)
+	return &SchemeResult{
+		Coll:         coll,
+		Phases:       []PhaseCost{samplerCost, collectCost},
+		StretchUsed:  st1.Stretch,
+		SpannerEdges: len(st1.S),
+		FinalSpanner: st1.S,
+	}, nil
+}
+
+// HybridSrc composes the gossip baseline with the Sampler spanner pipeline:
+// push–pull gossip runs until a target fraction of nodes holds its complete
+// t-ball (phase "gossip(seed)", billed up to that round), and the spanner
+// then floods only the residue — the rumors some node still misses — for
+// stretch·t rounds (phase "collect(residue)"). The merged collection covers
+// every t-ball, so replayed outputs are bit-identical to direct execution.
+// The stage-1 spanner is built first so engine caches amortize it exactly as
+// for the pure spanner schemes. gossipBudget bounds the seeding stage's
+// schedule; failing to cover the fraction within it is an ErrRoundBudget.
+func HybridSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core.Params, fraction float64, gossipBudget int, seed uint64, cfg local.Config, hooks Hooks, src Stage1Source) (*SchemeResult, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("hybrid fraction %v outside (0,1]", fraction)
+	}
+	if src == nil {
+		src = BuildStage1
+	}
+	st1, samplerCost, err := src(ctx, g, p, seed, cfg, hooks)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid spanner: %w", err)
+	}
+	hooks.PhaseDone(samplerCost)
+
+	n := g.NumNodes()
+	ports := portsOf(g)
+	need := int(math.Ceil(fraction * float64(n)))
+
+	// Find the seeding deadline — the earliest round by which the target
+	// fraction of nodes holds its complete t-ball — without simulating the
+	// full gossipBudget schedule (the default is 100·n rounds; the fraction
+	// is typically covered in O(polylog n)). Gossip's per-round behaviour at
+	// a fixed seed is independent of its schedule length for every round
+	// below the halt round, and arrivals recorded by round b match the
+	// full-schedule run's, so a geometrically growing schedule that accepts
+	// only deadlines strictly below its own halt round finds exactly the
+	// deadline, arrivals, and per-round message bill the full schedule
+	// would, at a fraction of the simulation cost.
+	var (
+		gos       *broadcast.Result
+		seedRound = -1
+	)
+	for budget := min(32, gossipBudget); ; budget = min(budget*2, gossipBudget) {
+		gcfg := cfg
+		gcfg.Seed = seed
+		var err error
+		gos, err = broadcast.Gossip(ctx, g, ports, budget, hooks.RoundConfig(gcfg, "gossip(seed)"))
+		if err != nil {
+			return nil, fmt.Errorf("hybrid gossip stage: %w", err)
+		}
+		covered := make([]int, 0, n)
+		for _, r := range broadcast.CoverRounds(g, gos.Arrival, spec.T) {
+			if r >= 0 {
+				covered = append(covered, r)
+			}
+		}
+		if len(covered) >= need {
+			sort.Ints(covered)
+			if r := covered[need-1]; r < budget || budget == gossipBudget {
+				seedRound = r
+				break
+			}
+		}
+		if budget == gossipBudget {
+			return nil, fmt.Errorf("hybrid gossip stage covered %d of the %d required t-balls within %d rounds: %w",
+				len(covered), need, gossipBudget, ErrRoundBudget)
+		}
+	}
+	seedCost := PhaseCost{
+		Name:     "gossip(seed)",
+		Rounds:   seedRound,
+		Messages: broadcast.MessagesUpTo(gos.Run, seedRound),
+	}
+	hooks.PhaseDone(seedCost)
+
+	// Residue senders: every origin some node's t-ball still misses at the
+	// seeding deadline (central bookkeeping, like broadcast.CoverRound).
+	residue := make([]bool, n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Ball(graph.NodeID(v), spec.T) {
+			if r, ok := gos.Arrival[v][u]; !ok || r > seedRound {
+				residue[u] = true
+			}
+		}
+	}
+	fcfg := cfg
+	fcfg.Seed = seed
+	fl, err := broadcast.FloodFrom(ctx, st1.Host, ports, residue, st1.Stretch*spec.T, hooks.RoundConfig(fcfg, "collect(residue)"))
+	if err != nil {
+		return nil, fmt.Errorf("hybrid residue collection: %w", err)
+	}
+	collectCost := PhaseCost{Name: "collect(residue)", Rounds: fl.Run.Rounds, Messages: fl.Run.Messages}
+	hooks.PhaseDone(collectCost)
+
+	// Merge: what gossip had delivered by the seeding deadline, plus the
+	// residue flood.
+	coll := &Collection{N: n, Seed: seed, Run: fl.Run}
+	coll.Ports = make([]map[graph.NodeID][]graph.EdgeID, n)
+	for v := 0; v < n; v++ {
+		m := make(map[graph.NodeID][]graph.EdgeID, len(fl.Known[v]))
+		for origin, r := range gos.Arrival[v] {
+			if r <= seedRound {
+				m[origin] = ports[origin].([]graph.EdgeID)
+			}
+		}
+		for origin, payload := range fl.Known[v] {
+			m[origin] = payload.([]graph.EdgeID)
+		}
+		coll.Ports[v] = m
+	}
+	return &SchemeResult{
+		Coll:         coll,
+		Phases:       []PhaseCost{samplerCost, seedCost, collectCost},
+		StretchUsed:  st1.Stretch,
+		SpannerEdges: len(st1.S),
+		FinalSpanner: st1.S,
+	}, nil
+}
+
+// GlobalCollectSrc realizes the paper's Section 7 extension as a collection
+// pipeline: the Sampler spanner elects a root and builds a BFS tree, every
+// node's port list is convergecast up the tree and the merged table is
+// flooded back down (phase "globalcast"), after which every node can replay
+// any node's t-ball locally. Rounds are O(stretch · diameter); messages are
+// O(n) tree messages carrying tables instead of Θ(t·m) flood traffic.
+func GlobalCollectSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core.Params, seed uint64, cfg local.Config, hooks Hooks, src Stage1Source) (*SchemeResult, error) {
+	if src == nil {
+		src = BuildStage1
+	}
+	st1, samplerCost, err := src(ctx, g, p, seed, cfg, hooks)
+	if err != nil {
+		return nil, fmt.Errorf("globalcompute spanner: %w", err)
+	}
+	hooks.PhaseDone(samplerCost)
+
+	n := g.NumNodes()
+	ports := portsOf(g)
+	inputs := make([]any, n)
+	for v := 0; v < n; v++ {
+		inputs[v] = map[graph.NodeID][]graph.EdgeID{graph.NodeID(v): ports[v].([]graph.EdgeID)}
+	}
+	merge := func(a, b any) any {
+		ta := a.(map[graph.NodeID][]graph.EdgeID)
+		for origin, pl := range b.(map[graph.NodeID][]graph.EdgeID) {
+			ta[origin] = pl
+		}
+		return ta
+	}
+	// The wave deadline must upper-bound the host diameter; the host is a
+	// fixed artifact of this run, so the exact diameter is deterministic.
+	waveRounds := st1.Host.Diameter()
+	ccfg := cfg
+	ccfg.Seed = seed
+	vals, runRes, err := globalcompute.Converge(ctx, st1.Host, inputs, merge, waveRounds, hooks.RoundConfig(ccfg, "globalcast"))
+	if err != nil {
+		return nil, fmt.Errorf("globalcompute convergecast: %w", err)
+	}
+	castCost := PhaseCost{Name: "globalcast", Rounds: runRes.Rounds, Messages: runRes.Messages}
+	hooks.PhaseDone(castCost)
+
+	// Every node holds the identical merged table (the root's map, shared
+	// and read-only from here on), so the collection can alias it.
+	coll := &Collection{N: n, Seed: seed, Run: runRes}
+	coll.Ports = make([]map[graph.NodeID][]graph.EdgeID, n)
+	for v := 0; v < n; v++ {
+		table := vals[v].(map[graph.NodeID][]graph.EdgeID)
+		if len(table) != n {
+			return nil, fmt.Errorf("globalcompute: node %d's table covers %d of %d nodes", v, len(table), n)
+		}
+		coll.Ports[v] = table
+	}
+	return &SchemeResult{
+		Coll:         coll,
+		Phases:       []PhaseCost{samplerCost, castCost},
+		StretchUsed:  st1.Stretch,
+		SpannerEdges: len(st1.S),
+		FinalSpanner: st1.S,
+	}, nil
 }

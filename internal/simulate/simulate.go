@@ -75,6 +75,23 @@ func Collect(ctx context.Context, g, host *graph.Graph, rounds int, seed uint64,
 	return collectionFrom(g, fl.Known, seed, fl.Run), nil
 }
 
+// CollectBudget is Collect under a CONGEST-style bandwidth cap: every
+// directed host edge carries at most bw words per round, so oversized port
+// lists are split across consecutive rounds (see broadcast.FloodBudget). The
+// returned collection holds exactly the knowledge Collect would have
+// gathered; only the round schedule (and hence Run.Rounds) dilates.
+func CollectBudget(ctx context.Context, g, host *graph.Graph, rounds, bw int, seed uint64, cfg local.Config) (*Collection, error) {
+	if g.NumNodes() != host.NumNodes() {
+		return nil, fmt.Errorf("simulate: host spans %d nodes, graph has %d", host.NumNodes(), g.NumNodes())
+	}
+	cfg.Seed = seed
+	fl, err := broadcast.FloodBudget(ctx, host, portsOf(g), rounds, bw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return collectionFrom(g, fl.Known, seed, fl.Run), nil
+}
+
 // GossipCollect performs the same collection by push–pull gossip (the
 // baseline family of Censor-Hillel et al. and Haeupler). It runs for
 // maxRounds rounds and additionally reports the earliest round at which

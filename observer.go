@@ -9,7 +9,8 @@ type PhaseCost = simulate.PhaseCost
 //
 // RoundCompleted fires after every LOCAL round the pipeline executes,
 // labeled with the phase it belongs to ("sampler", "simulate-bs",
-// "simulate-en", "collect", "direct", "gossip"); PhaseCompleted fires when a
+// "simulate-en", "collect", "collect(congest)", "collect(residue)",
+// "gossip(seed)", "globalcast", "direct", "gossip"); PhaseCompleted fires when a
 // whole pipeline stage finishes, with its cost. A run that reuses the
 // engine's cached stage-1 spanner executes no sampler rounds at all: it
 // fires no "sampler" round events and reports the stage as a single

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/local"
@@ -42,6 +43,18 @@ type Options struct {
 	// StageK is the stretch parameter k of the simulated stage-2
 	// construction (Baswana–Sen or Elkin–Neiman, stretch 2k−1). Default 2.
 	StageK int
+	// Bandwidth caps, for the CONGEST-budgeted scheme, the words one
+	// directed edge may carry per round. Zero (the default, unless
+	// WithBandwidth was given) resolves at run time to ⌈log2 n⌉ — the
+	// CONGEST model's canonical O(log n)-bit message in words.
+	Bandwidth int
+	// HybridFraction is the fraction of nodes the hybrid scheme's gossip
+	// stage must cover with complete t-balls before the spanner collects the
+	// residue. Must lie in (0,1]; default 0.5.
+	HybridFraction float64
+	// CacheSize bounds the engine's stage-1 spanner cache (LRU eviction).
+	// Zero means DefaultCacheSize.
+	CacheSize int
 	// SpannerK, SpannerH, SpannerC override the Sampler parameters
 	// wholesale (hierarchy depth, trial parameter, whp-threshold scale).
 	// When SpannerK is zero the schemes derive parameters from Gamma and
@@ -60,6 +73,10 @@ type Options struct {
 	// points it at its memoized cache on each Run's private Options copy;
 	// nil means a fresh construction per run.
 	stage1 simulate.Stage1Source
+	// bandwidthSet records that WithBandwidth was given, so validation can
+	// reject explicit sub-word budgets while the unset zero still means
+	// "auto".
+	bandwidthSet bool
 }
 
 // Option mutates Options; pass them to NewEngine.
@@ -76,9 +93,31 @@ func WithKT1(on bool) Option { return func(o *Options) { o.KT1 = on } }
 // concurrent with n workers, n < 0 concurrent with GOMAXPROCS workers.
 func WithConcurrency(n int) Option { return func(o *Options) { o.Concurrency = n } }
 
-// WithMaxRounds bounds self-halting protocols and sets the gossip scheme's
-// round budget.
+// WithMaxRounds sets the engine's round budget: a positive budget makes any
+// scheme whose billed LOCAL rounds exceed it fail with ErrRoundBudget (a
+// runaway pipeline is additionally cancelled in flight once its executed
+// rounds pass a safety multiple of the budget). The gossip and hybrid
+// schemes also use it as their gossip stage's schedule length (0 means
+// 100·n, matching the historical driver default), and self-halting
+// protocols inherit it as their MaxRounds bound.
 func WithMaxRounds(r int) Option { return func(o *Options) { o.MaxRounds = r } }
+
+// WithBandwidth caps the words one directed edge may carry per round in the
+// CONGEST-budgeted scheme ("scheme1-congest"). The cap must be at least one
+// word; leaving the option unset resolves to ⌈log2 n⌉ words at run time.
+func WithBandwidth(words int) Option {
+	return func(o *Options) { o.Bandwidth, o.bandwidthSet = words, true }
+}
+
+// WithHybridFraction sets the fraction of nodes (in (0,1]) whose t-balls the
+// hybrid scheme's gossip stage must complete before the Sampler spanner
+// collects the residue. Default 0.5.
+func WithHybridFraction(f float64) Option { return func(o *Options) { o.HybridFraction = f } }
+
+// WithCacheSize bounds the engine's stage-1 spanner cache to the given
+// number of entries, evicting least-recently-used artifacts beyond it.
+// Zero restores DefaultCacheSize; sizing happens at engine construction.
+func WithCacheSize(entries int) Option { return func(o *Options) { o.CacheSize = entries } }
 
 // WithLogNSlack sets the slack factor on the log n upper bound handed to
 // nodes (must be >= 1; 0 means exact).
@@ -115,13 +154,35 @@ func WithObserver(obs Observer) Option {
 
 // newOptions applies defaults and then the given options.
 func newOptions(opts []Option) Options {
-	o := Options{Gamma: 1, StageK: 2}
+	o := Options{Gamma: 1, StageK: 2, HybridFraction: 0.5}
 	for _, fn := range opts {
 		if fn != nil {
 			fn(&o)
 		}
 	}
 	return o
+}
+
+// bandwidth resolves the CONGEST word budget for a run on an n-node graph:
+// the explicit WithBandwidth value, or ⌈log2 n⌉ words.
+func (o *Options) bandwidth(n int) int {
+	if o.Bandwidth > 0 {
+		return o.Bandwidth
+	}
+	bw := int(math.Ceil(math.Log2(math.Max(2, float64(n)))))
+	if bw < 1 {
+		bw = 1
+	}
+	return bw
+}
+
+// gossipBudget resolves the gossip schedule length for the gossip and hybrid
+// schemes: the configured MaxRounds, or the historical 100·n default.
+func (o *Options) gossipBudget(n int) int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return 100 * n
 }
 
 // localConfig translates the options into a LOCAL-simulator config.
@@ -200,13 +261,31 @@ func (o *Options) hooks() simulate.Hooks {
 	}
 }
 
-// validate checks the option values every scheme depends on.
+// validate checks the option values every scheme depends on. Nonsense
+// values are rejected engine-wide — even by schemes that ignore the knob —
+// so a misconfigured engine fails fast on its first Run rather than only on
+// the one scheme that happens to read the option.
 func (o *Options) validate() error {
 	if o.LogNSlack != 0 && o.LogNSlack < 1 {
 		return fmt.Errorf("LogNSlack %v < 1 is not an upper bound", o.LogNSlack)
 	}
 	if o.MaxRounds < 0 {
 		return fmt.Errorf("negative MaxRounds %d", o.MaxRounds)
+	}
+	if o.SpannerK == 0 && o.Gamma < 1 {
+		return fmt.Errorf("gamma %d < 1 (use WithGamma or WithSpannerParams)", o.Gamma)
+	}
+	if o.StageK < 1 {
+		return fmt.Errorf("stage-2 parameter k = %d < 1 (use WithStageK)", o.StageK)
+	}
+	if o.bandwidthSet && o.Bandwidth < 1 {
+		return fmt.Errorf("bandwidth %d < 1 word per edge per round (use WithBandwidth)", o.Bandwidth)
+	}
+	if o.HybridFraction <= 0 || o.HybridFraction > 1 {
+		return fmt.Errorf("hybrid fraction %v outside (0,1] (use WithHybridFraction)", o.HybridFraction)
+	}
+	if o.CacheSize < 0 {
+		return fmt.Errorf("negative CacheSize %d (use WithCacheSize)", o.CacheSize)
 	}
 	return nil
 }

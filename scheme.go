@@ -114,28 +114,11 @@ func (s *schemeFunc) Run(ctx context.Context, g *Graph, spec AlgorithmSpec, o *O
 	return s.run(ctx, g, spec, o)
 }
 
-// validateGamma checks the stage-1 Sampler parameters shared by the
-// message-reduction schemes.
-func validateGamma(o *Options) error {
-	if o.SpannerK > 0 {
-		return nil // explicit override; core.Params.Validate has the final say
-	}
-	if o.Gamma < 1 {
-		return fmt.Errorf("gamma %d < 1 (use WithGamma or WithSpannerParams)", o.Gamma)
-	}
-	return nil
-}
-
-// validateStageK additionally checks the stage-2 stretch parameter.
-func validateStageK(o *Options) error {
-	if err := validateGamma(o); err != nil {
-		return err
-	}
-	if o.StageK < 1 {
-		return fmt.Errorf("stage-2 parameter k = %d < 1 (use WithStageK)", o.StageK)
-	}
-	return nil
-}
+// ErrRoundBudget is the typed failure returned when a run exceeds the
+// engine's WithMaxRounds budget: the scheme's billed rounds overran it, a
+// gossip stage failed to cover its t-balls within its schedule, or the
+// runaway guard cancelled the pipeline. Test for it with errors.Is.
+var ErrRoundBudget = simulate.ErrRoundBudget
 
 func init() {
 	mustRegister(&schemeFunc{
@@ -159,9 +142,8 @@ func init() {
 		},
 	})
 	mustRegister(&schemeFunc{
-		name:     "scheme1",
-		desc:     "Theorem 3 (i): Sampler spanner + stretch·t-round collection",
-		validate: validateGamma,
+		name: "scheme1",
+		desc: "Theorem 3 (i): Sampler spanner + stretch·t-round collection",
 		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
 			res, err := simulate.Scheme1Src(ctx, g, spec, o.samplerParams(), o.Seed, o.localConfig(), o.hooks(), o.stage1)
 			if err != nil {
@@ -171,9 +153,8 @@ func init() {
 		},
 	})
 	mustRegister(&schemeFunc{
-		name:     "scheme2",
-		desc:     "Theorem 3 (ii): Sampler spanner simulates Baswana–Sen, whose spanner collects",
-		validate: validateStageK,
+		name: "scheme2",
+		desc: "Theorem 3 (ii): Sampler spanner simulates Baswana–Sen, whose spanner collects",
 		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
 			res, err := simulate.Scheme2WithSrc(ctx, g, spec, o.samplerParams(),
 				simulate.BaswanaSenStage2(o.StageK), o.Seed, o.localConfig(), o.hooks(), o.stage1)
@@ -184,9 +165,8 @@ func init() {
 		},
 	})
 	mustRegister(&schemeFunc{
-		name:     "scheme2en",
-		desc:     "scheme2 with Elkin–Neiman as the simulated stage (k+O(1) rounds vs O(k²))",
-		validate: validateStageK,
+		name: "scheme2en",
+		desc: "scheme2 with Elkin–Neiman as the simulated stage (k+O(1) rounds vs O(k²))",
 		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
 			res, err := simulate.Scheme2WithSrc(ctx, g, spec, o.samplerParams(),
 				simulate.ElkinNeimanStage2(o.StageK), o.Seed, o.localConfig(), o.hooks(), o.stage1)
@@ -200,10 +180,7 @@ func init() {
 		name: "gossip",
 		desc: "push–pull gossip collection baseline (Censor-Hillel et al.; Haeupler)",
 		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
-			budget := o.MaxRounds
-			if budget == 0 {
-				budget = 100 * g.NumNodes()
-			}
+			budget := o.gossipBudget(g.NumNodes())
 			hooks := o.hooks()
 			coll, cover, msgs, err := simulate.GossipCollect(ctx, g, spec.T, budget, o.Seed,
 				hooks.RoundConfig(o.localConfig(), "gossip"))
@@ -211,7 +188,8 @@ func init() {
 				return nil, err
 			}
 			if cover < 0 {
-				return nil, fmt.Errorf("gossip did not cover the %d-balls within %d rounds (raise WithMaxRounds)", spec.T, budget)
+				return nil, fmt.Errorf("gossip did not cover the %d-balls within %d rounds (raise WithMaxRounds): %w",
+					spec.T, budget, ErrRoundBudget)
 			}
 			cost := PhaseCost{Name: "gossip", Rounds: cover, Messages: msgs}
 			hooks.PhaseDone(cost)
@@ -226,6 +204,41 @@ func init() {
 				Messages: msgs,
 				Phases:   []PhaseCost{cost},
 			}, nil
+		},
+	})
+	mustRegister(&schemeFunc{
+		name: "scheme1-congest",
+		desc: "scheme1 under a CONGEST word cap: WithBandwidth words per edge per round, dilation in PhaseCost",
+		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
+			res, err := simulate.Scheme1CongestSrc(ctx, g, spec, o.samplerParams(), o.bandwidth(g.NumNodes()),
+				o.Seed, o.localConfig(), o.hooks(), o.stage1)
+			if err != nil {
+				return nil, err
+			}
+			return replayResult(ctx, "scheme1-congest", res, spec, o)
+		},
+	})
+	mustRegister(&schemeFunc{
+		name: "hybrid",
+		desc: "gossip seeds WithHybridFraction of the t-balls, the Sampler spanner collects the residue",
+		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
+			res, err := simulate.HybridSrc(ctx, g, spec, o.samplerParams(), o.HybridFraction,
+				o.gossipBudget(g.NumNodes()), o.Seed, o.localConfig(), o.hooks(), o.stage1)
+			if err != nil {
+				return nil, err
+			}
+			return replayResult(ctx, "hybrid", res, spec, o)
+		},
+	})
+	mustRegister(&schemeFunc{
+		name: "globalcompute",
+		desc: "Section 7: spanner BFS tree convergecasts all knowledge, O(stretch·D) rounds, O(n) tree messages",
+		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
+			res, err := simulate.GlobalCollectSrc(ctx, g, spec, o.samplerParams(), o.Seed, o.localConfig(), o.hooks(), o.stage1)
+			if err != nil {
+				return nil, err
+			}
+			return replayResult(ctx, "globalcompute", res, spec, o)
 		},
 	})
 }
