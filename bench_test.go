@@ -7,9 +7,11 @@ package repro_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro"
+	"repro/internal/broadcast"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph/gen"
@@ -119,6 +121,43 @@ func BenchmarkSchemesAmortized(b *testing.B) {
 					run()
 				}
 				b.ReportMetric(float64(msgs), "msgs/op")
+			})
+		}
+	}
+}
+
+// BenchmarkLongGossipMemory demonstrates the round-ledger bound on a long
+// gossip schedule (the regime the streaming metrics sink exists for): run
+// with -benchmem and compare ledger=true against ledger=false at the two
+// round scales. The retained ledger (surfaced as the ledgerB/op metric)
+// grows linearly with the schedule when enabled — 8 bytes per executed
+// round — and is identically zero when disabled, while rounds, messages,
+// and coverage stay bit-identical; with the ledger disabled the only
+// round-dependent state left is the compact arrival-round billing record,
+// whose size is bounded by arrival events, not rounds.
+func BenchmarkLongGossipMemory(b *testing.B) {
+	g := gen.ConnectedGNP(24, 0.2, xrand.New(6))
+	payloads := make([]any, g.NumNodes())
+	for _, rounds := range []int{1000, 10000} {
+		for _, ledger := range []bool{true, false} {
+			b.Run(fmt.Sprintf("rounds=%d/ledger=%v", rounds, ledger), func(b *testing.B) {
+				b.ReportAllocs()
+				var ledgerBytes float64
+				for i := 0; i < b.N; i++ {
+					res, err := broadcast.Gossip(context.Background(), g, payloads, rounds,
+						local.Config{Seed: 7, NoLedger: !ledger})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Run.Rounds != rounds+1 {
+						b.Fatalf("executed %d rounds, want %d", res.Run.Rounds, rounds+1)
+					}
+					if ledger != (res.Run.PerRound != nil) {
+						b.Fatalf("ledger=%v but PerRound has %d entries", ledger, len(res.Run.PerRound))
+					}
+					ledgerBytes = float64(len(res.Run.PerRound)) * 8
+				}
+				b.ReportMetric(ledgerBytes, "ledgerB/op")
 			})
 		}
 	}

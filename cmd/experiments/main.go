@@ -4,28 +4,46 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-progress] [-run E4,E7]
+//	experiments [-quick] [-progress] [-run E4,E7] [-longrun N]
 //
 // With -progress, experiments that drive simulation pipelines stream their
 // per-phase costs live through the observer hook instead of staying silent
 // until the table prints.
+//
+// With -longrun N the suite is skipped and a single N-round gossip schedule
+// runs with the per-round ledger disabled (WithRoundLedger(false)) and a
+// streaming MetricsSink attached — the O(1)-memory regime for schedules far
+// beyond what the PerRound ledgers can afford — and the sink's JSON snapshot
+// is printed.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/experiments"
+	"repro/internal/graph/gen"
+	"repro/internal/xrand"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run bench-scale configurations")
 	progress := flag.Bool("progress", false, "stream live per-phase pipeline progress")
 	only := flag.String("run", "", "comma-separated experiment IDs (default all)")
+	longrun := flag.Int("longrun", 0, "run one N-round gossip schedule with the ledger disabled and print the MetricsSink snapshot, instead of the suite")
 	flag.Parse()
+
+	if *longrun > 0 {
+		runLong(*longrun)
+		return
+	}
 
 	if *progress {
 		experiments.Progress = func(format string, args ...any) {
@@ -57,4 +75,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed their shape checks\n", failed)
 		os.Exit(1)
 	}
+}
+
+// runLong is the long-run mode: a gossip schedule of the requested length
+// on a fixed sparse graph, executed at O(1) memory in rounds (ledger off),
+// observed only through the bounded metrics sink. It demonstrates — and
+// gives a CLI probe for — the regime the sink was built for: schedules far
+// longer than the per-round ledgers could afford to retain.
+func runLong(rounds int) {
+	g := gen.ConnectedGNP(64, 0.08, xrand.New(1))
+	sink := repro.NewMetricsSink(0)
+	eng := repro.NewEngine(
+		repro.WithSeed(1),
+		repro.WithConcurrency(-1),
+		repro.WithMaxRounds(rounds),
+		repro.WithRoundLedger(false),
+		repro.WithObserver(sink),
+	)
+	start := time.Now()
+	res, err := eng.Run(context.Background(), "gossip", g, repro.MaxID(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("long run: gossip schedule of %d rounds on n=%d m=%d (ledger disabled, %.1fs)\n",
+		rounds, g.NumNodes(), g.NumEdges(), time.Since(start).Seconds())
+	fmt.Printf("billed: cover round %d, %d messages\n", res.Rounds, res.Messages)
+	blob, err := json.MarshalIndent(sink.Snapshot(), "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metrics snapshot:\n%s\n", blob)
 }

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,6 +49,8 @@ func main() {
 		repeat     = flag.Int("repeat", 1, "run the scheme this many times on one engine; repeats reuse the cached stage-1 spanner")
 		progress   = flag.Bool("progress", false, "stream live per-round progress from the observer")
 		nocache    = flag.Bool("nocache", false, "disable the engine's stage-1 spanner cache")
+		metrics    = flag.Bool("metrics", false, "stream rounds into a bounded MetricsSink and print its JSON snapshot after the runs")
+		ledger     = flag.Bool("ledger", true, "keep the internal per-round ledgers; -ledger=false makes long runs O(1) memory in executed rounds")
 	)
 	flag.Parse()
 
@@ -65,6 +68,7 @@ func main() {
 		repro.WithGamma(*gamma),
 		repro.WithStageK(*stageK),
 		repro.WithHybridFraction(*hybridFrac),
+		repro.WithRoundLedger(*ledger),
 		repro.WithObserver(progressObserver(*progress)),
 	}
 	if *bandwidth != 0 {
@@ -75,6 +79,11 @@ func main() {
 	if *nocache {
 		opts = append(opts, repro.WithNoCache())
 	}
+	var sink *repro.MetricsSink
+	if *metrics {
+		sink = repro.NewMetricsSink(0)
+		opts = append(opts, repro.WithObserver(sink))
+	}
 	eng := repro.NewEngine(opts...)
 
 	direct, err := eng.Run(ctx, "direct", g, spec)
@@ -83,6 +92,7 @@ func main() {
 	}
 	fmt.Printf("direct: rounds=%d messages=%d\n", direct.Rounds, direct.Messages)
 	if *scheme == "direct" {
+		printMetrics(sink)
 		return
 	}
 
@@ -127,6 +137,21 @@ func main() {
 			*repeat, float64(total)/float64(*repeat),
 			float64(total)/float64(*repeat)/float64(direct.Messages))
 	}
+	printMetrics(sink)
+}
+
+// printMetrics dumps the sink's bounded aggregates — per-phase totals,
+// log-bucketed per-round message histograms, and the tail ring of most
+// recent rounds — as JSON. A nil sink (no -metrics) prints nothing.
+func printMetrics(sink *repro.MetricsSink) {
+	if sink == nil {
+		return
+	}
+	blob, err := json.MarshalIndent(sink.Snapshot(), "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("metrics snapshot:\n%s\n", blob)
 }
 
 // fatal distinguishes user cancellation from real failures.

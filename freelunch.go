@@ -35,7 +35,10 @@
 // Runs take a context.Context and stop within one node step's work when it
 // is cancelled, in both the sequential and the concurrent engine. Observers
 // registered with WithObserver stream round- and phase-completion events
-// while a simulation is in flight.
+// while a simulation is in flight; MetricsSink is a ready-made observer
+// that reduces the stream to bounded per-phase statistics, and
+// WithRoundLedger(false) drops the internal per-round ledgers so long
+// schedules run at O(1) memory in executed rounds.
 //
 // An Engine memoizes its stage-1 Sampler spanners across Runs keyed by
 // (graph, seed, spanner parameters) — the paper's amortization story —

@@ -29,6 +29,33 @@ type Result struct {
 	Arrival []map[graph.NodeID]int
 	// Run carries the LOCAL cost metrics.
 	Run local.Result
+
+	// cumAt records, for gossip runs with the per-round ledger disabled,
+	// the cumulative message count through every round in which some node
+	// first heard some origin. Billing deadlines (CoverRound, CoverRounds)
+	// are always such arrival rounds, so this compact record — bounded by
+	// the number of arrival events, independent of the schedule length —
+	// answers every MessagesThrough query the ledger used to serve.
+	cumAt map[int]int64
+}
+
+// MessagesThrough returns the cumulative number of messages sent through
+// the given round (inclusive) — the billing primitive behind cover-round
+// accounting. With the per-round ledger enabled it sums Run.PerRound
+// exactly like MessagesUpTo; with the ledger disabled (local.Config's
+// NoLedger) it consults the compact arrival-round record that Gossip
+// maintains, which covers every round CoverRound or CoverRounds can
+// return. Querying a round with no record is an error: it means the caller
+// asked about a non-arrival round of a ledgerless run, which no billing
+// path does.
+func (r *Result) MessagesThrough(round int) (int64, error) {
+	if r.cumAt == nil {
+		return MessagesUpTo(r.Run, round), nil
+	}
+	if c, ok := r.cumAt[round]; ok {
+		return c, nil
+	}
+	return 0, fmt.Errorf("broadcast: no cumulative message record at round %d (per-round ledger disabled; only arrival rounds are recorded)", round)
 }
 
 // rumor is one node's message in transit.
@@ -133,6 +160,12 @@ type gossipNode struct {
 	known   map[graph.NodeID]any
 	arrival map[graph.NodeID]int
 	replyTo []graph.EdgeID
+	// heardNew is set whenever the node records a previously unknown
+	// origin and cleared by the harness after each round; it lets a
+	// ledgerless run detect arrival rounds centrally without retaining
+	// per-round state. Each node only ever writes its own flag, so the
+	// field is race-free even on the concurrent engine.
+	heardNew bool
 }
 
 type gossipPush struct{ Rumors []rumor }
@@ -142,6 +175,7 @@ func (p *gossipNode) Step(env *local.Env, round int, inbox []local.Message) {
 	if round == 0 {
 		p.known = map[graph.NodeID]any{env.ID(): nil} // payload patched by harness
 		p.arrival = map[graph.NodeID]int{env.ID(): 0}
+		p.heardNew = true
 	}
 	for _, m := range inbox {
 		var rumors []rumor
@@ -156,6 +190,7 @@ func (p *gossipNode) Step(env *local.Env, round int, inbox []local.Message) {
 			if _, ok := p.known[r.Origin]; !ok {
 				p.known[r.Origin] = r.Payload
 				p.arrival[r.Origin] = round
+				p.heardNew = true
 			}
 		}
 	}
@@ -195,6 +230,33 @@ func Gossip(ctx context.Context, host *graph.Graph, payloads []any, rounds int, 
 	}
 	nodes := make([]*gossipNode, host.NumNodes())
 	cfg.MaxRounds = rounds + 1
+	// With the per-round ledger disabled, record cumulative message counts
+	// at arrival rounds so cover-round billing (MessagesThrough) stays
+	// exact at O(1) memory in executed rounds. The callback runs on the
+	// run's coordinating goroutine after each round's barrier, so reading
+	// and clearing the nodes' heardNew flags is race-free.
+	var cumAt map[int]int64
+	if cfg.NoLedger {
+		cumAt = make(map[int]int64)
+		inner := cfg.OnRound
+		var cum int64
+		cfg.OnRound = func(r int, m int64) {
+			cum += m
+			arrived := false
+			for _, nd := range nodes {
+				if nd.heardNew {
+					nd.heardNew = false
+					arrived = true
+				}
+			}
+			if arrived {
+				cumAt[r] = cum
+			}
+			if inner != nil {
+				inner(r, m)
+			}
+		}
+	}
 	run, err := local.RunCtx(ctx, host, func(v graph.NodeID) local.Protocol {
 		nd := &gossipNode{t: rounds}
 		nodes[v] = nd
@@ -203,7 +265,7 @@ func Gossip(ctx context.Context, host *graph.Graph, payloads []any, rounds int, 
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Run: run}
+	res := &Result{Run: run, cumAt: cumAt}
 	for _, nd := range nodes {
 		// Rumors travel as bare origins; rebind payloads from ground truth.
 		for o := range nd.known {

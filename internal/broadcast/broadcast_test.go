@@ -129,6 +129,70 @@ func TestGossipEventuallyCovers(t *testing.T) {
 	}
 }
 
+// TestGossipNoLedgerBillingExact pins the compact arrival-round record: with
+// the per-round ledger disabled, MessagesThrough must return exactly the
+// prefix sums the ledger would have, at every round CoverRound/CoverRounds
+// can name, on both engines — and the run must not retain PerRound.
+func TestGossipNoLedgerBillingExact(t *testing.T) {
+	g := gen.ConnectedGNP(40, 0.1, xrand.New(9))
+	payloads := testPayloads(g.NumNodes())
+	const rounds, t2 = 200, 2
+	for _, concurrent := range []bool{false, true} {
+		with, err := Gossip(context.Background(), g, payloads, rounds, local.Config{Seed: 4, Concurrent: concurrent})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bare, err := Gossip(context.Background(), g, payloads, rounds, local.Config{Seed: 4, Concurrent: concurrent, NoLedger: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bare.Run.PerRound != nil {
+			t.Fatalf("concurrent=%v: NoLedger gossip retained %d PerRound entries", concurrent, len(bare.Run.PerRound))
+		}
+		if bare.Run.Messages != with.Run.Messages || bare.Run.Rounds != with.Run.Rounds {
+			t.Fatalf("concurrent=%v: totals drifted: %+v vs %+v", concurrent, bare.Run, with.Run)
+		}
+		// Every billing deadline any caller can derive — the global cover
+		// round and every per-node cover round — must answer identically.
+		deadlines := map[int]bool{CoverRound(g, with.Arrival, t2): true}
+		for _, r := range CoverRounds(g, with.Arrival, t2) {
+			deadlines[r] = true
+		}
+		for r := range deadlines {
+			if r < 0 {
+				t.Fatalf("concurrent=%v: gossip did not cover within %d rounds", concurrent, rounds)
+			}
+			want := MessagesUpTo(with.Run, r)
+			got, err := bare.MessagesThrough(r)
+			if err != nil {
+				t.Fatalf("concurrent=%v: MessagesThrough(%d): %v", concurrent, r, err)
+			}
+			if got != want {
+				t.Fatalf("concurrent=%v: MessagesThrough(%d) = %d, ledger says %d", concurrent, r, got, want)
+			}
+			// The ledgered result must answer through the same API.
+			if lg, err := with.MessagesThrough(r); err != nil || lg != want {
+				t.Fatalf("concurrent=%v: ledgered MessagesThrough(%d) = %d, %v", concurrent, r, lg, err)
+			}
+		}
+		// A round past every arrival has no record: the error is loud, not
+		// a silent underbill.
+		if _, err := bare.MessagesThrough(rounds - 1); err == nil {
+			maxArr := 0
+			for _, m := range bare.Arrival {
+				for _, r := range m {
+					if r > maxArr {
+						maxArr = r
+					}
+				}
+			}
+			if maxArr < rounds-1 {
+				t.Fatalf("concurrent=%v: MessagesThrough(%d) beyond the last arrival (%d) did not error", concurrent, rounds-1, maxArr)
+			}
+		}
+	}
+}
+
 func TestGossipMessagesPerRoundBounded(t *testing.T) {
 	g := gen.ConnectedGNP(80, 0.1, xrand.New(5))
 	res, err := Gossip(context.Background(), g, mkPayloads(g.NumNodes()), 50, local.Config{Seed: 11})

@@ -42,8 +42,8 @@ type edgeQueue struct {
 // (in words per direction per round, bw >= 1). Rumors travel at most `rounds`
 // hops, so the final Known sets equal Flood's at the same arguments; Arrival
 // records the (possibly delayed) round of first hearing. cfg is honored for
-// OnRound only — the schedule is deterministic and needs no seed. Cancelling
-// ctx aborts between rounds.
+// OnRound and NoLedger only — the schedule is deterministic and needs no
+// seed. Cancelling ctx aborts between rounds.
 //
 // Because queueing can deliver a rumor first over a longer path, a node
 // re-forwards a rumor whenever a copy arrives with a strictly smaller hop
@@ -164,7 +164,9 @@ func FloodBudget(ctx context.Context, host *graph.Graph, payloads []any, rounds,
 				enqueue(v, qitem{origin: a.it.origin, hops: a.it.hops + 1})
 			}
 		}
-		res.Run.PerRound = append(res.Run.PerRound, sent)
+		if !cfg.NoLedger {
+			res.Run.PerRound = append(res.Run.PerRound, sent)
+		}
 		res.Run.Messages += sent
 		res.Run.PayloadUnits += units
 		res.Run.Rounds++
@@ -184,8 +186,14 @@ func FloodBudget(ctx context.Context, host *graph.Graph, payloads []any, rounds,
 	if res.Run.Rounds+1 > target {
 		target = res.Run.Rounds + 1
 	}
+	// Filler rounds share the main loop's invariant: the ledger slot
+	// PerRound[r] and the OnRound round argument advance in lockstep, so a
+	// billed round number always indexes its own ledger entry (and the
+	// MessagesUpTo prefix sums stay aligned).
 	for res.Run.Rounds < target {
-		res.Run.PerRound = append(res.Run.PerRound, 0)
+		if !cfg.NoLedger {
+			res.Run.PerRound = append(res.Run.PerRound, 0)
+		}
 		res.Run.Rounds++
 		if cfg.OnRound != nil {
 			cfg.OnRound(round, 0)

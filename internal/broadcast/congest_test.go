@@ -84,6 +84,112 @@ func TestFloodBudgetSplitsAndCovers(t *testing.T) {
 	}
 }
 
+// TestFloodBudgetRoundIndexConsistency is the filler-round regression test:
+// the budgeted flood appends zero-message filler rounds to pad its schedule,
+// and every billed round number must stay aligned across the three views of
+// the run — the OnRound stream, the PerRound ledger position, and the
+// MessagesUpTo prefix sums — with no off-by-one between them.
+func TestFloodBudgetRoundIndexConsistency(t *testing.T) {
+	// One-word bandwidth with three-word payloads forces splitting (queues
+	// drain late), and a path keeps traffic sparse enough that trailing
+	// filler rounds are certain to appear.
+	g := gen.Path(6)
+	payloads := testPayloads(6)
+	const rounds, bw = 5, 1
+	var seenRounds []int
+	var seenMsgs []int64
+	res, err := FloodBudget(context.Background(), g, payloads, rounds, bw, local.Config{
+		OnRound: func(r int, m int64) {
+			seenRounds = append(seenRounds, r)
+			seenMsgs = append(seenMsgs, m)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seenRounds) != res.Run.Rounds || len(res.Run.PerRound) != res.Run.Rounds {
+		t.Fatalf("observer saw %d rounds, ledger has %d, result bills %d",
+			len(seenRounds), len(res.Run.PerRound), res.Run.Rounds)
+	}
+	var cum int64
+	for i := range seenRounds {
+		if seenRounds[i] != i {
+			t.Fatalf("OnRound fired for round %d at position %d", seenRounds[i], i)
+		}
+		if seenMsgs[i] != res.Run.PerRound[i] {
+			t.Fatalf("round %d: observer saw %d messages, ledger slot has %d", i, seenMsgs[i], res.Run.PerRound[i])
+		}
+		cum += seenMsgs[i]
+		if got := MessagesUpTo(res.Run, i); got != cum {
+			t.Fatalf("MessagesUpTo(%d) = %d, observer cumulative is %d", i, got, cum)
+		}
+	}
+	if cum != res.Run.Messages {
+		t.Fatalf("stream sums to %d messages, result bills %d", cum, res.Run.Messages)
+	}
+	// The dilated schedule must end in at least one genuine filler round
+	// (zero messages) and still bill at least the LOCAL flood's rounds+1.
+	if res.Run.Rounds < rounds+1 {
+		t.Fatalf("billed %d rounds, below the %d-round LOCAL schedule", res.Run.Rounds, rounds+1)
+	}
+	if last := res.Run.PerRound[res.Run.Rounds-1]; last != 0 {
+		t.Fatalf("final round carried %d messages, want a zero filler round", last)
+	}
+	// Arrival rounds must stay consistent with the ledger positions: a
+	// rumor heard at round r rode messages billed in slot r-1.
+	for v := range res.Arrival {
+		for origin, r := range res.Arrival[v] {
+			if int(origin) == v {
+				continue
+			}
+			if r < 1 || r > res.Run.Rounds {
+				t.Fatalf("node %d heard %d at round %d, outside the billed schedule [1,%d]", v, origin, r, res.Run.Rounds)
+			}
+			if res.Run.PerRound[r-1] == 0 {
+				t.Fatalf("node %d heard %d at round %d but ledger slot %d is a zero round", v, origin, r, r-1)
+			}
+		}
+	}
+}
+
+// TestFloodBudgetNoLedger pins the ledger opt-out on the centrally simulated
+// CONGEST schedule: PerRound stays nil while the OnRound stream, the round
+// count, and all totals are unchanged.
+func TestFloodBudgetNoLedger(t *testing.T) {
+	g := gen.ConnectedGNP(40, 0.1, xrand.New(3))
+	payloads := testPayloads(g.NumNodes())
+	const rounds, bw = 4, 1
+	var ledgerStream, bareStream []int64
+	with, err := FloodBudget(context.Background(), g, payloads, rounds, bw, local.Config{
+		OnRound: func(r int, m int64) { ledgerStream = append(ledgerStream, m) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := FloodBudget(context.Background(), g, payloads, rounds, bw, local.Config{
+		NoLedger: true,
+		OnRound:  func(r int, m int64) { bareStream = append(bareStream, m) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Run.PerRound != nil {
+		t.Fatalf("NoLedger run retained %d PerRound entries", len(bare.Run.PerRound))
+	}
+	if bare.Run.Rounds != with.Run.Rounds || bare.Run.Messages != with.Run.Messages ||
+		bare.Run.PayloadUnits != with.Run.PayloadUnits {
+		t.Fatalf("totals drifted without the ledger: %+v vs %+v", bare.Run, with.Run)
+	}
+	if len(bareStream) != len(ledgerStream) {
+		t.Fatalf("stream length drifted: %d vs %d", len(bareStream), len(ledgerStream))
+	}
+	for i := range bareStream {
+		if bareStream[i] != ledgerStream[i] {
+			t.Fatalf("round %d: stream %d vs %d", i, bareStream[i], ledgerStream[i])
+		}
+	}
+}
+
 // TestFloodBudgetRejectsBadBandwidth covers the argument contract.
 func TestFloodBudgetRejectsBadBandwidth(t *testing.T) {
 	g := gen.Path(4)

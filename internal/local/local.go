@@ -109,6 +109,12 @@ type Config struct {
 	// engine's coordinating goroutine (never concurrently with itself) and
 	// must not call back into the run.
 	OnRound func(round int, messages int64)
+	// NoLedger disables the Result.PerRound ledger, whose length otherwise
+	// grows with every executed round. Totals, counters, halting, and the
+	// OnRound stream are unaffected, so a long-schedule run keeps O(1)
+	// memory in executed rounds by streaming rounds through OnRound (e.g.
+	// into the facade's MetricsSink) instead of retaining the slice.
+	NoLedger bool
 }
 
 // DefaultMaxRounds bounds runaway protocols.
@@ -126,7 +132,8 @@ type Result struct {
 	// counts messages — but it quantifies how much the model's unbounded
 	// messages are leaned on (the CONGEST-side view).
 	PayloadUnits int64
-	// PerRound is the number of messages sent in each round.
+	// PerRound is the number of messages sent in each round. It is nil
+	// when the run was configured with Config.NoLedger.
 	PerRound []int64
 	// Halted reports whether every node halted before MaxRounds.
 	Halted bool
@@ -332,7 +339,9 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 			return res, err
 		}
 		sent, units := r.deliver()
-		res.PerRound = append(res.PerRound, sent)
+		if !cfg.NoLedger {
+			res.PerRound = append(res.PerRound, sent)
+		}
 		res.Messages += sent
 		res.PayloadUnits += units
 		res.Rounds++
@@ -442,14 +451,23 @@ func (r *run) deliver() (int64, int64) {
 	}
 	for v := range r.inbox {
 		in := r.inbox[v]
-		sort.SliceStable(in, func(i, j int) bool {
-			a := in[i].Payload.(payloadWithSeq)
-			b := in[j].Payload.(payloadWithSeq)
-			if a.edge != b.edge {
-				return a.edge < b.edge
-			}
-			return a.seq < b.seq
-		})
+		if len(in) == 0 {
+			continue
+		}
+		// Singleton inboxes (and empty ones above) skip the sort: ordering
+		// zero or one messages is the identity, and sort.SliceStable
+		// allocates its reflection swapper even then, which would make
+		// every quiet round pay O(n) allocations for nothing.
+		if len(in) > 1 {
+			sort.SliceStable(in, func(i, j int) bool {
+				a := in[i].Payload.(payloadWithSeq)
+				b := in[j].Payload.(payloadWithSeq)
+				if a.edge != b.edge {
+					return a.edge < b.edge
+				}
+				return a.seq < b.seq
+			})
+		}
 		for i := range in {
 			in[i].Payload = in[i].Payload.(payloadWithSeq).body
 		}

@@ -526,6 +526,76 @@ func TestRunCtxPreCancelled(t *testing.T) {
 	}
 }
 
+func TestNoLedgerKeepsTotalsAndStream(t *testing.T) {
+	// NoLedger must drop exactly the PerRound slice: totals, counters,
+	// halting, and the OnRound stream are unchanged on both engines.
+	g := gen.ConnectedGNP(40, 0.1, xrand.New(8))
+	for _, concurrent := range []bool{false, true} {
+		var ledgerMsgs, streamMsgs []int64
+		withOut, withRes := runFloodMax(t, g, 3, Config{Seed: 6, Concurrent: concurrent,
+			OnRound: func(r int, m int64) { ledgerMsgs = append(ledgerMsgs, m) }})
+		out, res := runFloodMax(t, g, 3, Config{Seed: 6, Concurrent: concurrent, NoLedger: true,
+			OnRound: func(r int, m int64) { streamMsgs = append(streamMsgs, m) }})
+		if res.PerRound != nil {
+			t.Fatalf("concurrent=%v: NoLedger run still retains %d PerRound entries", concurrent, len(res.PerRound))
+		}
+		if !reflect.DeepEqual(out, withOut) {
+			t.Fatalf("concurrent=%v: outputs differ without the ledger", concurrent)
+		}
+		if res.Rounds != withRes.Rounds || res.Messages != withRes.Messages ||
+			res.PayloadUnits != withRes.PayloadUnits || res.Halted != withRes.Halted ||
+			!reflect.DeepEqual(res.Counters, withRes.Counters) {
+			t.Fatalf("concurrent=%v: metrics drifted without the ledger: %+v vs %+v", concurrent, res, withRes)
+		}
+		if !reflect.DeepEqual(streamMsgs, ledgerMsgs) {
+			t.Fatalf("concurrent=%v: OnRound stream drifted without the ledger", concurrent)
+		}
+		if !reflect.DeepEqual(ledgerMsgs, withRes.PerRound) {
+			t.Fatalf("concurrent=%v: stream %v does not match ledger %v", concurrent, ledgerMsgs, withRes.PerRound)
+		}
+	}
+}
+
+// idleProto never halts and never sends: every executed round is pure
+// simulator overhead, which makes per-round allocation growth measurable.
+type idleProto struct{}
+
+func (idleProto) Step(*Env, int, []Message) {}
+
+func TestNoLedgerAllocsO1PerRound(t *testing.T) {
+	// With the ledger disabled, a run's allocations must not grow with the
+	// number of executed rounds: an 8x longer schedule may cost at most a
+	// few more allocations (noise), not the ledger's append growth — the
+	// memory contract WithRoundLedger(false) promises long schedules.
+	g := gen.Path(8)
+	measure := func(rounds int, noLedger bool) float64 {
+		return testing.AllocsPerRun(5, func() {
+			res, err := Run(g, func(graph.NodeID) Protocol { return idleProto{} },
+				Config{Seed: 1, MaxRounds: rounds, NoLedger: noLedger})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rounds != rounds {
+				t.Fatalf("executed %d rounds, want %d", res.Rounds, rounds)
+			}
+		})
+	}
+	short, long := measure(1000, true), measure(8000, true)
+	if long > short+4 {
+		t.Fatalf("allocations grew with rounds despite NoLedger: %.0f at 1000 rounds, %.0f at 8000", short, long)
+	}
+	// Control: the same schedule with the ledger on retains one int64 per
+	// round (8000 entries), so the ledger is really what NoLedger removes.
+	res, err := Run(g, func(graph.NodeID) Protocol { return idleProto{} },
+		Config{Seed: 1, MaxRounds: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRound) != 8000 {
+		t.Fatalf("ledger-on control retained %d entries, want 8000", len(res.PerRound))
+	}
+}
+
 func TestOnRoundObserver(t *testing.T) {
 	// OnRound must fire once per executed round, with per-round message
 	// counts matching the result's ledger, in both engines.

@@ -440,10 +440,14 @@ func HybridSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core
 				len(covered), need, gossipBudget, ErrRoundBudget)
 		}
 	}
+	seedMsgs, err := gos.MessagesThrough(seedRound)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid seed billing: %w", err)
+	}
 	seedCost := PhaseCost{
 		Name:     "gossip(seed)",
 		Rounds:   seedRound,
-		Messages: broadcast.MessagesUpTo(gos.Run, seedRound),
+		Messages: seedMsgs,
 	}
 	hooks.PhaseDone(seedCost)
 

@@ -105,7 +105,9 @@ func GossipCollect(ctx context.Context, g *graph.Graph, t, maxRounds int, seed u
 	cover := broadcast.CoverRound(g, gos.Arrival, t)
 	var msgs int64
 	if cover >= 0 {
-		msgs = broadcast.MessagesUpTo(gos.Run, cover)
+		if msgs, err = gos.MessagesThrough(cover); err != nil {
+			return nil, 0, 0, fmt.Errorf("simulate: gossip cover billing: %w", err)
+		}
 	}
 	return collectionFrom(g, gos.Known, seed, gos.Run), cover, msgs, nil
 }

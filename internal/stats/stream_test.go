@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing[int](3)
+	if r.Len() != 0 || r.Cap() != 3 {
+		t.Fatalf("fresh ring: len=%d cap=%d", r.Len(), r.Cap())
+	}
+	if got := r.Tail(); len(got) != 0 {
+		t.Fatalf("fresh ring tail = %v", got)
+	}
+	r.Push(1)
+	r.Push(2)
+	if got := r.Tail(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("partial tail = %v", got)
+	}
+	r.Push(3)
+	if got := r.Tail(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("full tail = %v", got)
+	}
+	// Wrap: the oldest samples fall off, order stays oldest-first.
+	r.Push(4)
+	if got := r.Tail(); !reflect.DeepEqual(got, []int{2, 3, 4}) {
+		t.Fatalf("tail after one wrap = %v", got)
+	}
+	for v := 5; v <= 11; v++ {
+		r.Push(v)
+	}
+	if got := r.Tail(); !reflect.DeepEqual(got, []int{9, 10, 11}) {
+		t.Fatalf("tail after many wraps = %v", got)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len after wraps = %d", r.Len())
+	}
+}
+
+func TestRingClampsCapacity(t *testing.T) {
+	r := NewRing[string](0)
+	if r.Cap() != 1 {
+		t.Fatalf("cap = %d, want clamp to 1", r.Cap())
+	}
+	r.Push("a")
+	r.Push("b")
+	if got := r.Tail(); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("tail = %v", got)
+	}
+}
+
+func TestLogHistogramBucketBoundaries(t *testing.T) {
+	// Every power of two starts a new bucket; the value just below it
+	// belongs to the previous one. Zero and negatives fall in bucket 0.
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 20, 21}, {1<<21 - 1, 21},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.v); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Bounds are half-open, contiguous, and contain exactly the values
+	// that index into them.
+	for i := 0; i < logHistogramBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if lo >= hi {
+			t.Fatalf("bucket %d: empty range [%d, %d)", i, lo, hi)
+		}
+		if BucketIndex(lo) != i {
+			t.Fatalf("bucket %d: lo %d indexes to %d", i, lo, BucketIndex(lo))
+		}
+		if i < logHistogramBuckets-1 {
+			if BucketIndex(hi-1) != i {
+				t.Fatalf("bucket %d: hi-1 %d indexes to %d", i, hi-1, BucketIndex(hi-1))
+			}
+			nextLo, _ := BucketBounds(i + 1)
+			if nextLo != hi {
+				t.Fatalf("bucket %d..%d not contiguous: hi %d, next lo %d", i, i+1, hi, nextLo)
+			}
+		}
+	}
+}
+
+func TestLogHistogramObserve(t *testing.T) {
+	var h LogHistogram
+	for _, v := range []int64{0, 1, 1, 3, 900} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 905 || h.Max() != 900 {
+		t.Fatalf("count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	want := []HistBucket{
+		{Lo: 0, Hi: 1, Count: 1},
+		{Lo: 1, Hi: 2, Count: 2},
+		{Lo: 2, Hi: 4, Count: 1},
+		{Lo: 512, Hi: 1024, Count: 1},
+	}
+	if got := h.Buckets(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("buckets = %+v, want %+v", got, want)
+	}
+}

@@ -8,17 +8,34 @@ type PhaseCost = simulate.PhaseCost
 // Observer receives live progress events from a running simulation.
 //
 // RoundCompleted fires after every LOCAL round the pipeline executes,
-// labeled with the phase it belongs to ("sampler", "simulate-bs",
-// "simulate-en", "collect", "collect(congest)", "collect(residue)",
-// "gossip(seed)", "globalcast", "direct", "gossip"); PhaseCompleted fires when a
-// whole pipeline stage finishes, with its cost. A run that reuses the
-// engine's cached stage-1 spanner executes no sampler rounds at all: it
-// fires no "sampler" round events and reports the stage as a single
-// PhaseCompleted with Name "sampler(cached)" and zero rounds and messages. Within a single Run,
-// callbacks fire on that run's coordinating goroutine and are never
-// invoked concurrently with each other; an observer shared by concurrent
-// Runs is called from each run's goroutine and must be safe for concurrent
-// use. Callbacks must not call back into the running engine.
+// labeled with the phase it belongs to. The registered schemes emit these
+// phase names:
+//
+//   - "direct" — direct execution on G;
+//   - "sampler" — a fresh stage-1 Sampler spanner construction;
+//   - "sampler(cached)" — PhaseCompleted only: the run reused the engine's
+//     cached stage-1 spanner, executed no sampler rounds, and bills the
+//     stage at zero rounds and messages;
+//   - "simulate-bs" / "simulate-en" — scheme2's simulated stage-2
+//     construction (Baswana–Sen / Elkin–Neiman);
+//   - "collect" — a spanner-carried collection flood;
+//   - "collect(congest)" — the bandwidth-budgeted collection of
+//     scheme1-congest, including its zero-message filler rounds;
+//   - "collect(residue)" — the hybrid scheme's residue flood;
+//   - "gossip(seed)" — the hybrid scheme's gossip seeding stage;
+//   - "gossip" — the push–pull gossip baseline;
+//   - "globalcast" — globalcompute's wave/tree/convergecast protocol.
+//
+// PhaseCompleted fires when a whole pipeline stage finishes, with its cost.
+// RoundCompleted streams regardless of WithRoundLedger: with the ledger
+// disabled, observers are the only per-round record a run leaves, and the
+// ready-made MetricsSink reduces the stream to bounded per-phase statistics
+// (totals, log-bucketed histograms, a ring of recent rounds).
+//
+// Within a single Run, callbacks fire on that run's coordinating goroutine
+// and are never invoked concurrently with each other; an observer shared by
+// concurrent Runs is called from each run's goroutine and must be safe for
+// concurrent use. Callbacks must not call back into the running engine.
 type Observer interface {
 	RoundCompleted(phase string, round int, messages int64)
 	PhaseCompleted(cost PhaseCost)

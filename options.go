@@ -55,6 +55,11 @@ type Options struct {
 	// CacheSize bounds the engine's stage-1 spanner cache (LRU eviction).
 	// Zero means DefaultCacheSize.
 	CacheSize int
+	// RoundLedger keeps the internal per-round message ledgers
+	// (local.Result.PerRound) the protocol stages accumulate. Default
+	// true; WithRoundLedger(false) drops them so a run's memory stays
+	// O(1) in executed rounds (see WithRoundLedger).
+	RoundLedger bool
 	// SpannerK, SpannerH, SpannerC override the Sampler parameters
 	// wholesale (hierarchy depth, trial parameter, whp-threshold scale).
 	// When SpannerK is zero the schemes derive parameters from Gamma and
@@ -140,6 +145,18 @@ func WithSpannerParams(k, h int, c float64) Option {
 	}
 }
 
+// WithRoundLedger enables (the default) or disables the per-round message
+// ledgers the protocol stages accumulate. With the ledger disabled a run's
+// memory footprint is O(1) in the number of executed rounds — the knob long
+// schedules need (gossip's 100·n-round default, hybrid seeding, CONGEST
+// dilation): outputs, phase costs, and the streamed RoundCompleted events
+// are all unchanged, so pairing the option with a MetricsSink retains
+// bounded per-round statistics; only the unbounded PerRound slices are
+// dropped. The gossip-backed schemes keep their exact cover-round billing
+// through a compact record of cumulative counts at arrival rounds, so
+// results are bit-identical with the ledger on or off.
+func WithRoundLedger(on bool) Option { return func(o *Options) { o.RoundLedger = on } }
+
 // WithNoCache disables the engine's stage-1 spanner cache, forcing every
 // Run and BuildSpanner to construct the Sampler spanner from scratch (the
 // pre-cache behaviour, useful for benchmarking the full pipeline cost).
@@ -154,7 +171,7 @@ func WithObserver(obs Observer) Option {
 
 // newOptions applies defaults and then the given options.
 func newOptions(opts []Option) Options {
-	o := Options{Gamma: 1, StageK: 2, HybridFraction: 0.5}
+	o := Options{Gamma: 1, StageK: 2, HybridFraction: 0.5, RoundLedger: true}
 	for _, fn := range opts {
 		if fn != nil {
 			fn(&o)
@@ -192,6 +209,7 @@ func (o *Options) localConfig() local.Config {
 		KT1:       o.KT1,
 		MaxRounds: o.MaxRounds,
 		LogNSlack: o.LogNSlack,
+		NoLedger:  !o.RoundLedger,
 	}
 	switch {
 	case o.Concurrency > 0:
