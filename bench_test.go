@@ -202,10 +202,14 @@ func BenchmarkLocalEngineConcurrent(b *testing.B) {
 	benchLocalEngine(b, true)
 }
 
+// The engine benchmarks always report allocations: they are the perf
+// trajectory's hot-path series (BENCH_5.json) and the subject of CI's
+// allocation-regression gate (cmd/bench -ceiling).
 func benchLocalEngine(b *testing.B, concurrent bool) {
 	b.Helper()
 	g := gen.ConnectedGNP(2000, 0.01, xrand.New(3))
 	spec := repro.MaxID(5)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := simulate.Direct(context.Background(), g, spec, uint64(i), local.Config{Concurrent: concurrent}); err != nil {

@@ -1,0 +1,260 @@
+// Command bench runs the repository's performance benchmarks and emits a
+// machine-readable snapshot — the repo's perf trajectory format. Each
+// invocation runs `go test -bench` with -benchmem, parses every benchmark
+// line into {name, iterations, metrics} (ns/op, B/op, allocs/op, plus any
+// custom metrics like msgs/op or ledgerB/op), and writes them as JSON.
+//
+// The committed baseline lives at BENCH_5.json (regenerate with
+// `go run ./cmd/bench`); CI runs the same entry point on every commit and
+// archives the JSON, so any two commits' perf can be diffed structurally.
+//
+// -ceiling turns the run into a regression gate: it fails the process when a
+// benchmark's allocs/op exceeds its committed ceiling, which is how CI pins
+// the message plane's allocation budget (reintroducing per-message boxing
+// costs ~1 alloc/message and blows the ceiling immediately; ordinary noise
+// does not).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the serialized form of one benchmark run.
+type Snapshot struct {
+	Schema     int         `json:"schema"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	BenchRegex string      `json:"bench_regex"`
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the trailing -GOMAXPROCS suffix
+	// stripped, so names are stable across machines.
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in. It is per benchmark, not
+	// per snapshot: one cmd/bench run concatenates several go test passes
+	// (the main series and the steady-state series run in different
+	// packages).
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is b.N for the reported measurement.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every "value unit" pair on the line:
+	// the standard ns/op, B/op, allocs/op and any ReportMetric extras.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// defaultBench covers the registry-enumerated scheme benchmarks, the local
+// engine hot-path benchmarks, the long-run memory benchmark, and the
+// building-block micro-benchmarks — the perf surface of the simulator,
+// without the E* experiment shape checks (those are correctness reproductions,
+// not perf probes).
+const defaultBench = "BenchmarkSchemes|BenchmarkLocalEngine|BenchmarkLongGossipMemory|BenchmarkSampler|BenchmarkCollectOnSpanner|BenchmarkReplay"
+
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// resultLine matches a benchmark result line (name, iterations, metrics).
+// Benchmarked code printing to stdout can interleave arbitrary text with the
+// result lines — such lines are context, not results, and must be skipped,
+// not parse errors.
+var resultLine = regexp.MustCompile(`^Benchmark\S+\s+\d+\s`)
+
+func main() {
+	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "value passed to go test -benchtime")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	steadyBench := flag.String("steadybench", "BenchmarkBusyRound", "steady-state benchmark regex (empty disables the pass)")
+	steadyTime := flag.String("steadytime", "20000x", "benchtime for the steady-state pass (long enough to amortize setup to 0 allocs/op)")
+	steadyPkg := flag.String("steadypkg", "./internal/local", "package for the steady-state pass")
+	out := flag.String("out", "BENCH_5.json", "output JSON path (- for stdout)")
+	raw := flag.String("raw", "", "optionally also write the raw go test output to this path")
+	ceiling := flag.String("ceiling", "", "allocation gate: comma-separated name=maxAllocsPerOp pairs; exit non-zero when exceeded")
+	flag.Parse()
+
+	ceilings, err := parseCeilings(*ceiling)
+	if err != nil {
+		fatal(err)
+	}
+
+	output, err := runBench(*bench, *benchtime, *pkg)
+	if err != nil {
+		fatal(err)
+	}
+	// The steady-state pass runs the per-round benchmarks for enough rounds
+	// that setup amortizes to 0 allocs/op: it measures (and lets -ceiling
+	// gate) the marginal cost of a busy round, which a single-iteration
+	// pass cannot see under the run's setup allocations.
+	if *steadyBench != "" {
+		steady, serr := runBench(*steadyBench, *steadyTime, *steadyPkg)
+		if serr != nil {
+			fatal(serr)
+		}
+		output += steady
+	}
+	if *raw != "" {
+		if err := os.WriteFile(*raw, []byte(output), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	snap, err := parse(output)
+	if err != nil {
+		fatal(err)
+	}
+	snap.BenchRegex = *bench
+	snap.Benchtime = *benchtime
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d benchmarks recorded\n", len(snap.Benchmarks))
+
+	if err := gate(snap, ceilings); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}
+
+// runBench executes one `go test -bench` pass and returns its stdout.
+func runBench(bench, benchtime, pkg string) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-benchmem", pkg)
+	cmd.Stderr = os.Stderr
+	output, err := cmd.Output()
+	if err != nil {
+		os.Stdout.Write(output)
+		return "", fmt.Errorf("go test -bench %s %s failed: %w", bench, pkg, err)
+	}
+	return string(output), nil
+}
+
+// parse extracts header context and benchmark result lines from go test
+// -bench output.
+func parse(output string) (*Snapshot, error) {
+	snap := &Snapshot{Schema: 1}
+	pkg := ""
+	for _, line := range strings.Split(output, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			snap.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case resultLine.MatchString(line):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			b.Pkg = pkg
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in go test output")
+	}
+	return snap, nil
+}
+
+// parseLine parses one result line: name, iteration count, then
+// "value unit" pairs. Trailing text that stops parsing as metric pairs is
+// ignored (it is interleaved program output, not part of the result); the
+// iteration count is guaranteed numeric by the resultLine filter.
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("malformed iteration count in %q: %w", line, err)
+	}
+	b := Benchmark{
+		Name:       procsSuffix.ReplaceAllString(fields[0], ""),
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
+
+// parseCeilings parses "name=max,name=max" into a map.
+func parseCeilings(s string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	if s == "" {
+		return out, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed -ceiling entry %q (want name=maxAllocs)", pair)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed -ceiling value in %q: %w", pair, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// gate enforces allocs/op ceilings. Every named ceiling must match at least
+// one recorded benchmark — a renamed benchmark must not silently disarm its
+// gate.
+func gate(snap *Snapshot, ceilings map[string]float64) error {
+	if len(ceilings) == 0 {
+		return nil
+	}
+	var violations []string
+	for name, max := range ceilings {
+		matched := false
+		for _, b := range snap.Benchmarks {
+			if b.Name != name {
+				continue
+			}
+			matched = true
+			got, ok := b.Metrics["allocs/op"]
+			if !ok {
+				violations = append(violations, fmt.Sprintf("%s reported no allocs/op (run with -benchmem)", name))
+				continue
+			}
+			if got > max {
+				violations = append(violations, fmt.Sprintf("%s: %.0f allocs/op exceeds ceiling %.0f", name, got, max))
+			}
+		}
+		if !matched {
+			violations = append(violations, fmt.Sprintf("ceiling names unknown benchmark %q", name))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("allocation gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
+}

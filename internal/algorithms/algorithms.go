@@ -42,6 +42,11 @@ type Spec struct {
 type MaxIDNode struct {
 	T    int
 	Best graph.NodeID
+
+	// boxed caches Best converted to the payload interface, re-boxed only
+	// when Best changes: Best stabilizes within a few rounds, after which
+	// the node's per-round sends allocate nothing.
+	boxed any
 }
 
 var _ local.Protocol = (*MaxIDNode)(nil)
@@ -60,8 +65,11 @@ func (p *MaxIDNode) Step(env *local.Env, round int, inbox []local.Message) {
 		env.Halt()
 		return
 	}
+	if p.boxed == nil || p.boxed.(graph.NodeID) != p.Best {
+		p.boxed = p.Best
+	}
 	for _, pt := range env.Ports() {
-		env.Send(pt.Edge, p.Best)
+		env.Send(pt.Edge, p.boxed)
 	}
 }
 

@@ -50,6 +50,12 @@ type Result struct {
 // path does.
 func (r *Result) MessagesThrough(round int) (int64, error) {
 	if r.cumAt == nil {
+		if r.Run.PerRound == nil && r.Run.Rounds > 0 {
+			// A ledgerless run with no arrival-round record (a flood, not a
+			// gossip): there is nothing to bill against — error rather than
+			// silently summing the missing ledger to 0.
+			return 0, fmt.Errorf("broadcast: no per-round ledger and no arrival-round record (run with the ledger enabled to bill by round)")
+		}
 		return MessagesUpTo(r.Run, round), nil
 	}
 	if c, ok := r.cumAt[round]; ok {
@@ -64,33 +70,42 @@ type rumor struct {
 	Payload any
 }
 
-// floodBatch is the set of rumors forwarded over one edge in one round.
+// floodBatch is the set of rumors forwarded over one edge in one round. It
+// travels as a *floodBatch: boxing a pointer into the payload interface is
+// allocation-free, and a batch sent in round r is only ever read in round
+// r+1, so the double-buffered sender can reuse its backing array from round
+// r+2 on.
 type floodBatch []rumor
 
-// floodNode floods newly learned rumors to all neighbors each round.
+// floodNode floods newly learned rumors to all neighbors each round. The
+// outgoing batch is double-buffered by round parity: the batch in flight is
+// read by receivers one round after it was sent, so the buffer of parity p
+// is free for rewriting when parity p comes around again.
 type floodNode struct {
 	t       int
 	self    any  // this node's own message M_v
 	seed    bool // whether this node injects its own rumor
 	known   map[graph.NodeID]any
 	arrival map[graph.NodeID]int
-	fresh   []rumor
+	fresh   [2]floodBatch
 }
 
 func (p *floodNode) Step(env *local.Env, round int, inbox []local.Message) {
+	cur := &p.fresh[round&1]
+	*cur = (*cur)[:0]
 	if round == 0 {
 		p.known = map[graph.NodeID]any{env.ID(): p.self}
 		p.arrival = map[graph.NodeID]int{env.ID(): 0}
 		if p.seed {
-			p.fresh = append(p.fresh, rumor{Origin: env.ID(), Payload: p.self})
+			*cur = append(*cur, rumor{Origin: env.ID(), Payload: p.self})
 		}
 	}
 	for _, m := range inbox {
-		for _, r := range m.Payload.(floodBatch) {
+		for _, r := range *m.Payload.(*floodBatch) {
 			if _, ok := p.known[r.Origin]; !ok {
 				p.known[r.Origin] = r.Payload
 				p.arrival[r.Origin] = round
-				p.fresh = append(p.fresh, r)
+				*cur = append(*cur, r)
 			}
 		}
 	}
@@ -98,11 +113,10 @@ func (p *floodNode) Step(env *local.Env, round int, inbox []local.Message) {
 		env.Halt()
 		return
 	}
-	if len(p.fresh) > 0 {
+	if len(*cur) > 0 {
 		for _, pt := range env.Ports() {
-			env.Send(pt.Edge, floodBatch(p.fresh))
+			env.Send(pt.Edge, cur)
 		}
-		p.fresh = nil
 	}
 }
 
@@ -154,12 +168,20 @@ func FloodFrom(ctx context.Context, host *graph.Graph, payloads []any, seeds []b
 
 // gossipNode implements synchronous push–pull gossip: each round it pushes
 // its full rumor set over one uniformly random incident edge and answers
-// last round's pushes with its full set.
+// last round's pushes with its full set. The rumor snapshot and the
+// push/pull envelopes are double-buffered by round parity — payloads sent in
+// round r are read in round r+1 and never later, so parity-p buffers are
+// free for reuse when parity p recurs — and the envelopes travel as
+// pointers, whose interface boxing is allocation-free. A steady-state gossip
+// round therefore allocates only when the known set (and with it the
+// snapshot buffer) grows.
 type gossipNode struct {
 	t       int
 	known   map[graph.NodeID]any
 	arrival map[graph.NodeID]int
 	replyTo []graph.EdgeID
+	push    [2]gossipPush
+	pull    [2]gossipPull
 	// heardNew is set whenever the node records a previously unknown
 	// origin and cleared by the harness after each round; it lets a
 	// ledgerless run detect arrival rounds centrally without retaining
@@ -180,10 +202,10 @@ func (p *gossipNode) Step(env *local.Env, round int, inbox []local.Message) {
 	for _, m := range inbox {
 		var rumors []rumor
 		switch msg := m.Payload.(type) {
-		case gossipPush:
+		case *gossipPush:
 			rumors = msg.Rumors
 			p.replyTo = append(p.replyTo, m.Edge)
-		case gossipPull:
+		case *gossipPull:
 			rumors = msg.Rumors
 		}
 		for _, r := range rumors {
@@ -198,22 +220,32 @@ func (p *gossipNode) Step(env *local.Env, round int, inbox []local.Message) {
 		env.Halt()
 		return
 	}
-	all := p.snapshot()
-	for _, e := range p.replyTo {
-		env.Send(e, gossipPull{Rumors: all})
+	all := p.snapshot(round & 1)
+	if len(p.replyTo) > 0 {
+		pull := &p.pull[round&1]
+		pull.Rumors = all
+		for _, e := range p.replyTo {
+			env.Send(e, pull)
+		}
+		p.replyTo = p.replyTo[:0]
 	}
-	p.replyTo = nil
 	if env.Degree() > 0 {
 		pt := env.Ports()[env.Rand().Intn(env.Degree())]
-		env.Send(pt.Edge, gossipPush{Rumors: all})
+		push := &p.push[round&1]
+		push.Rumors = all
+		env.Send(pt.Edge, push)
 	}
 }
 
-func (p *gossipNode) snapshot() []rumor {
-	out := make([]rumor, 0, len(p.known))
+// snapshot rebuilds the node's full rumor set into the parity's reusable
+// buffer (the pull envelope of the same parity shares it; both are in
+// flight for exactly one round).
+func (p *gossipNode) snapshot(parity int) []rumor {
+	out := p.pull[parity].Rumors[:0]
 	for o, pl := range p.known {
 		out = append(out, rumor{Origin: o, Payload: pl})
 	}
+	p.pull[parity].Rumors = out
 	return out
 }
 
@@ -354,10 +386,10 @@ func contentUnits(p any) int64 {
 }
 
 // PayloadUnits implements local.Sizer for flood batches.
-func (b floodBatch) PayloadUnits() int64 { return rumorUnits(b) }
+func (b *floodBatch) PayloadUnits() int64 { return rumorUnits(*b) }
 
 // PayloadUnits implements local.Sizer.
-func (m gossipPush) PayloadUnits() int64 { return rumorUnits(m.Rumors) }
+func (m *gossipPush) PayloadUnits() int64 { return rumorUnits(m.Rumors) }
 
 // PayloadUnits implements local.Sizer.
-func (m gossipPull) PayloadUnits() int64 { return rumorUnits(m.Rumors) }
+func (m *gossipPull) PayloadUnits() int64 { return rumorUnits(m.Rumors) }

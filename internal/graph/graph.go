@@ -19,7 +19,7 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // NodeID identifies a node. Nodes of a graph with n nodes are 0..n-1.
@@ -165,18 +165,16 @@ func (g *Graph) HasEdgeID(id EdgeID) bool {
 }
 
 // Neighbors returns the distinct neighbors of v in ascending order (parallel
-// edges collapsed). The slice is freshly allocated.
+// edges collapsed). The slice is freshly allocated — the only allocation the
+// call makes: duplicates are removed by sorting in place and compacting, not
+// through a scratch set.
 func (g *Graph) Neighbors(v NodeID) []NodeID {
-	seen := make(map[NodeID]bool, len(g.adj[v]))
-	out := make([]NodeID, 0, len(g.adj[v]))
-	for _, h := range g.adj[v] {
-		if !seen[h.Peer] {
-			seen[h.Peer] = true
-			out = append(out, h.Peer)
-		}
+	out := make([]NodeID, len(g.adj[v]))
+	for i, h := range g.adj[v] {
+		out[i] = h.Peer
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
 // EdgesBetween returns the IDs of all parallel edges between u and v.

@@ -14,19 +14,29 @@
 //     check robustness to the bound's slack).
 //
 // Two engines execute the same Protocol code: a sequential engine and a
-// concurrent engine that fans node steps out over a worker pool with a
-// barrier per round. Per-node randomness comes from streams derived from
-// (seed, node ID), and inboxes are sorted canonically, so both engines
-// produce bit-identical executions — a property the test suite checks.
+// concurrent engine that fans node steps — and message delivery, sharded by
+// receiver — out over a persistent worker pool with a barrier per phase.
+// Per-node randomness comes from streams derived from (seed, node ID), and
+// inboxes are sorted canonically, so both engines produce bit-identical
+// executions — a property the test suite checks.
+//
+// The message plane is allocation-free in the steady state: outboxes and
+// inboxes are staged in per-node buffers that are truncated and reused
+// across rounds, ordering keys ride in the Message struct itself (no
+// per-message boxing), and the canonical sort runs over the concrete slice
+// with no reflection. A busy round at steady state performs zero heap
+// allocations — a property the test suite pins with testing.AllocsPerRun.
 package local
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/xrand"
@@ -40,13 +50,21 @@ type Message struct {
 	Edge graph.EdgeID
 	// Payload is the message body. The LOCAL model does not bound its size.
 	Payload any
+
+	// seq is the sender's send order within the round; together with Edge it
+	// is the canonical inbox sort key. Keeping it in the Message itself lets
+	// delivery sort the staged inbox in place, with no per-message wrapper
+	// allocation.
+	seq int32
 }
 
 // Protocol is the per-node state machine of a distributed algorithm.
 //
 // Step is invoked once per round. In round 0 the inbox is empty; in round
 // r > 0 it holds the messages sent to this node in round r-1, sorted by
-// (edge ID, send order). A node stops participating by calling Env.Halt;
+// (edge ID, send order). The inbox slice is owned by the simulator and
+// reused across rounds: protocols must not retain it (or subslices of it)
+// past the Step call. A node stops participating by calling Env.Halt;
 // afterwards Step is never invoked again and arriving messages are dropped.
 type Protocol interface {
 	Step(env *Env, round int, inbox []Message)
@@ -146,6 +164,9 @@ type Result struct {
 // Sizer lets a payload report its abstract size in "units" (think O(log n)-
 // bit words: an edge ID, a node ID, a flag). Payloads that do not implement
 // Sizer count as 1 unit. The runtime sums sizes into Result.PayloadUnits.
+// In concurrent mode PayloadUnits may be invoked from a worker goroutine
+// (after the round's step barrier); implementations must not mutate shared
+// state.
 type Sizer interface {
 	PayloadUnits() int64
 }
@@ -167,15 +188,22 @@ type Env struct {
 	id     graph.NodeID // reported identity (equals idx unless IDMap is set)
 	rng    *xrand.RNG
 	ports  []Port
-	out    []outMsg // this round's sends
-	counts map[string]int64
+	peer   map[graph.EdgeID]graph.NodeID // edge -> peer index; the node's O(1) send index
+	out    []outMsg                      // this round's sends, reused across rounds
+	counts []int64                       // indexed by the run's counter registry
 	halted bool
+
+	// lastName/lastIdx memoize the node's most recent counter lookup so a
+	// protocol hammering one counter name skips the registry's shared
+	// read-lock entirely (counter names are static literals, so the string
+	// compare is usually a pointer comparison).
+	lastName string
+	lastIdx  int
 }
 
 type outMsg struct {
 	edge graph.EdgeID
 	to   graph.NodeID
-	seq  int32
 	body any
 }
 
@@ -209,25 +237,74 @@ func (e *Env) Rand() *xrand.RNG { return e.rng }
 // Send transmits payload over the identified incident edge; it panics if the
 // edge is not incident to this node, which always indicates a protocol bug.
 // Multiple sends on the same edge in one round are delivered in order.
+// Incidence and the receiving endpoint resolve through the node's own
+// edge→peer index — no shared state is touched, so sends are cheap and
+// contention-free under the concurrent engine.
 func (e *Env) Send(edge graph.EdgeID, payload any) {
-	ge, ok := e.run.g.EdgeByID(edge)
-	if !ok || (ge.U != e.idx && ge.V != e.idx) {
+	to, ok := e.peer[edge]
+	if !ok {
 		panic(fmt.Sprintf("local: node %d sent on non-incident edge %d", e.id, edge))
 	}
-	e.out = append(e.out, outMsg{edge: edge, to: ge.Other(e.idx), seq: int32(len(e.out)), body: payload})
+	e.out = append(e.out, outMsg{edge: edge, to: to, body: payload})
 }
 
 // Halt marks the node as terminated. Pending sends from the current Step are
 // still delivered.
-func (e *Env) Halt() { e.halted = true }
+func (e *Env) Halt() {
+	if !e.halted {
+		e.halted = true
+		// Each Env is stepped by exactly one goroutine per round, so the
+		// halted guard is race-free; the shared active count is atomic.
+		e.run.active.Add(-1)
+	}
+}
 
 // Count adds delta to a named per-run counter (aggregated across nodes into
-// Result.Counters).
+// Result.Counters). Names are interned once per run in a shared registry, so
+// the per-call cost is an index lookup into a per-node slice — no per-node
+// map and no steady-state allocation.
 func (e *Env) Count(name string, delta int64) {
-	if e.counts == nil {
-		e.counts = make(map[string]int64)
+	i := e.lastIdx
+	if name != e.lastName || e.lastName == "" {
+		i = e.run.counters.index(name)
+		e.lastName, e.lastIdx = name, i
 	}
-	e.counts[name] += delta
+	if i >= len(e.counts) {
+		grown := make([]int64, i+1)
+		copy(grown, e.counts)
+		e.counts = grown
+	}
+	e.counts[i] += delta
+}
+
+// counterRegistry interns counter names for one run. Interning takes the
+// write lock only the first time a name is seen; every later Count from any
+// node is a read-locked map hit yielding a stable slice index.
+type counterRegistry struct {
+	mu    sync.RWMutex
+	idx   map[string]int
+	names []string
+}
+
+func (cr *counterRegistry) index(name string) int {
+	cr.mu.RLock()
+	i, ok := cr.idx[name]
+	cr.mu.RUnlock()
+	if ok {
+		return i
+	}
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	if i, ok = cr.idx[name]; ok {
+		return i
+	}
+	if cr.idx == nil {
+		cr.idx = make(map[string]int)
+	}
+	i = len(cr.names)
+	cr.idx[name] = i
+	cr.names = append(cr.names, name)
+	return i
 }
 
 // run is the shared state of one execution.
@@ -237,9 +314,12 @@ type run struct {
 	logN float64
 	done <-chan struct{} // cancellation signal; nil when uncancellable
 
-	envs   []*Env
-	protos []Protocol
-	inbox  [][]Message
+	envs     []*Env
+	protos   []Protocol
+	inbox    [][]Message // per-receiver staging, truncated and reused per round
+	active   atomic.Int64
+	counters counterRegistry
+	pool     *workerPool // non-nil iff cfg.Concurrent
 }
 
 // Run executes the protocol built by f on g under cfg and returns the cost
@@ -295,41 +375,41 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 		}
 		inc := g.Incident(idx)
 		ports := make([]Port, len(inc))
+		peer := make(map[graph.EdgeID]graph.NodeID, len(inc))
 		for i, h := range inc {
-			peer := NoPeer
+			p := NoPeer
 			if cfg.KT1 {
-				peer = h.Peer
+				p = h.Peer
 				if cfg.IDMap != nil {
-					peer = cfg.IDMap[h.Peer]
+					p = cfg.IDMap[h.Peer]
 				}
 			}
-			ports[i] = Port{Edge: h.Edge, Peer: peer}
+			ports[i] = Port{Edge: h.Edge, Peer: p}
+			peer[h.Edge] = h.Peer
 		}
-		sort.Slice(ports, func(i, j int) bool { return ports[i].Edge < ports[j].Edge })
-		r.envs[v] = &Env{run: r, idx: idx, id: id, rng: root.Derive(uint64(id)), ports: ports}
+		slices.SortFunc(ports, func(a, b Port) int { return cmp.Compare(a.Edge, b.Edge) })
+		r.envs[v] = &Env{run: r, idx: idx, id: id, rng: root.Derive(uint64(id)), ports: ports, peer: peer}
 		r.protos[v] = f(id)
+	}
+	r.active.Store(int64(n))
+	if cfg.Concurrent {
+		r.pool = newWorkerPool(r, cfg.Workers)
+		defer r.pool.stop()
 	}
 
 	res := Result{Counters: make(map[string]int64)}
 	for round := 0; round < cfg.MaxRounds; round++ {
-		// A node is active this round if it has not halted and either it is
-		// round 0 or it has messages — no: LOCAL protocols may act every
-		// round until they halt, so every non-halted node steps.
-		active := false
-		for v := 0; v < n; v++ {
-			if !r.envs[v].halted {
-				active = true
-				break
-			}
-		}
-		if !active {
+		// LOCAL protocols may act every round until they halt, so the run
+		// continues while any node is active. The count is maintained
+		// incrementally by Env.Halt — no per-round O(n) scan.
+		if r.active.Load() == 0 {
 			break
 		}
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		if cfg.Concurrent {
-			r.stepAllConcurrent(round)
+		if r.pool != nil {
+			r.pool.dispatch(poolCmd{op: opStep, round: round})
 		} else {
 			r.stepAllSequential(round)
 		}
@@ -338,7 +418,12 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		sent, units := r.deliver()
+		var sent, units int64
+		if r.pool != nil {
+			sent, units = r.deliverConcurrent()
+		} else {
+			sent, units = r.deliverSequential()
+		}
 		if !cfg.NoLedger {
 			res.PerRound = append(res.PerRound, sent)
 		}
@@ -354,8 +439,8 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 		if !r.envs[v].halted {
 			res.Halted = false
 		}
-		for k, c := range r.envs[v].counts {
-			res.Counters[k] += c
+		for i, c := range r.envs[v].counts {
+			res.Counters[r.counters.names[i]] += c
 		}
 	}
 	return res, nil
@@ -364,12 +449,9 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 func (r *run) stepOne(v int, round int) {
 	env := r.envs[v]
 	if env.halted {
-		r.inbox[v] = nil
 		return
 	}
-	in := r.inbox[v]
-	r.inbox[v] = nil
-	r.protos[v].Step(env, round, in)
+	r.protos[v].Step(env, round, r.inbox[v])
 }
 
 // cancelled reports whether the run's context has been cancelled. It is a
@@ -396,8 +478,130 @@ func (r *run) stepAllSequential(round int) {
 	}
 }
 
-func (r *run) stepAllConcurrent(round int) {
-	workers := r.cfg.Workers
+// sortInbox establishes the canonical (edge, send order) inbox ordering.
+// The keys ride in the Message struct, so the stable sort runs over the
+// concrete slice: no interface boxing, no reflection swapper, no
+// allocation. Empty and singleton inboxes skip it — ordering them is the
+// identity, and quiet rounds must stay free.
+func sortInbox(in []Message) {
+	if len(in) < 2 {
+		return
+	}
+	slices.SortStableFunc(in, func(a, b Message) int {
+		if c := cmp.Compare(a.Edge, b.Edge); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.seq, b.seq)
+	})
+}
+
+// deliverSequential moves this round's sends into next round's inboxes and
+// returns the number of messages sent and their total payload units.
+// Inboxes are truncated and refilled in (sender, send order) scan order,
+// then sorted by (edge, sender sequence), so both engines expose identical
+// inbox orderings. All staging buffers are reused: a steady-state round
+// allocates nothing.
+func (r *run) deliverSequential() (int64, int64) {
+	var sent, units int64
+	for v := range r.inbox {
+		if r.envs[v].halted {
+			// A halted node never reads or receives again; drop its staging
+			// buffers (and the payloads they reference) instead of pinning
+			// them for the rest of the run.
+			r.inbox[v] = nil
+			continue
+		}
+		// clear before truncating: a node that goes quiet after a burst must
+		// not pin the burst's payloads in the reused backing array. The
+		// memclr is linear in last round's inbox, a cost the round already
+		// paid several times over to deliver it.
+		clear(r.inbox[v])
+		r.inbox[v] = r.inbox[v][:0]
+	}
+	for v := range r.envs {
+		env := r.envs[v]
+		sent += int64(len(env.out))
+		for i := range env.out {
+			m := &env.out[i]
+			units += payloadUnits(m.body)
+			to := int(m.to)
+			if r.envs[to].halted {
+				continue // dropped: receiver terminated
+			}
+			r.inbox[to] = append(r.inbox[to], Message{Edge: m.edge, Payload: m.body, seq: int32(i)})
+		}
+		if env.halted {
+			env.out = nil // final sends just delivered; nothing follows
+		} else {
+			clear(env.out) // as with inboxes: no stale payload references
+			env.out = env.out[:0]
+		}
+	}
+	for v := range r.inbox {
+		sortInbox(r.inbox[v])
+	}
+	return sent, units
+}
+
+// deliverConcurrent is deliverSequential sharded by receiver over the
+// worker pool: each worker stages, sorts, and counts a disjoint range (see
+// workerPool.deliverShard), and the coordinator reduces the per-worker
+// totals and resets the outboxes after the barrier.
+func (r *run) deliverConcurrent() (int64, int64) {
+	r.pool.dispatch(poolCmd{op: opDeliver})
+	var sent, units int64
+	for w := range r.pool.totals {
+		sent += r.pool.totals[w].sent
+		units += r.pool.totals[w].units
+	}
+	// Outboxes are truncated only after the barrier: every worker scans
+	// every sender's outbox while staging its own receiver range. Halted
+	// senders' buffers are dropped outright, as in the sequential engine.
+	for v := range r.envs {
+		if r.envs[v].halted {
+			r.envs[v].out = nil
+		} else {
+			clear(r.envs[v].out) // no stale payload references
+			r.envs[v].out = r.envs[v].out[:0]
+		}
+	}
+	return sent, units
+}
+
+// poolCmd is one phase dispatched to every worker: step the worker's node
+// range at the given round, or deliver its receiver range.
+type poolCmd struct {
+	op    uint8
+	round int
+}
+
+const (
+	opStep uint8 = iota
+	opDeliver
+)
+
+// workerPool is the concurrent engine's persistent pool: one goroutine per
+// worker, spawned once per run, each owning a fixed node range that serves
+// both as its step range and its delivery (receiver) range. Phases are
+// broadcast over per-worker buffered channels and joined on a WaitGroup, so
+// a steady-state round performs no allocation and spawns no goroutines.
+type workerPool struct {
+	r      *run
+	wg     sync.WaitGroup
+	cmds   []chan poolCmd
+	lo, hi []int
+	totals []workerTotals
+}
+
+// workerTotals is one worker's per-round message accounting, padded to a
+// cache line so workers do not false-share.
+type workerTotals struct {
+	sent  int64
+	units int64
+	_     [48]byte
+}
+
+func newWorkerPool(r *run, workers int) *workerPool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -405,7 +609,10 @@ func (r *run) stepAllConcurrent(round int) {
 	if workers > n {
 		workers = n
 	}
-	var wg sync.WaitGroup
+	if workers < 1 {
+		workers = 1
+	}
+	p := &workerPool{r: r}
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -416,69 +623,89 @@ func (r *run) stepAllConcurrent(round int) {
 		if lo >= hi {
 			break
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for v := lo; v < hi; v++ {
-				if r.cancelled() {
-					return
-				}
-				r.stepOne(v, round)
-			}
-		}(lo, hi)
+		p.lo = append(p.lo, lo)
+		p.hi = append(p.hi, hi)
+		p.cmds = append(p.cmds, make(chan poolCmd, 1))
 	}
-	wg.Wait()
+	p.totals = make([]workerTotals, len(p.cmds))
+	for w := range p.cmds {
+		go p.work(w)
+	}
+	return p
 }
 
-// deliver moves this round's sends into next round's inboxes and returns the
-// number of messages sent and their total payload units. Inboxes are sorted
-// by (edge, sender sequence) so both engines expose identical inbox
-// orderings.
-func (r *run) deliver() (int64, int64) {
-	var sent, units int64
-	for v := range r.envs {
-		env := r.envs[v]
-		sent += int64(len(env.out))
-		for _, m := range env.out {
-			units += payloadUnits(m.body)
+// dispatch broadcasts one phase to every worker and blocks until all have
+// completed it.
+func (p *workerPool) dispatch(cmd poolCmd) {
+	p.wg.Add(len(p.cmds))
+	for _, c := range p.cmds {
+		c <- cmd
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the workers; it must be called exactly once, after the
+// last dispatch.
+func (p *workerPool) stop() {
+	for _, c := range p.cmds {
+		close(c)
+	}
+}
+
+func (p *workerPool) work(w int) {
+	for cmd := range p.cmds[w] {
+		switch cmd.op {
+		case opStep:
+			for v := p.lo[w]; v < p.hi[w]; v++ {
+				if p.r.cancelled() {
+					break
+				}
+				p.r.stepOne(v, cmd.round)
+			}
+		case opDeliver:
+			p.deliverShard(w)
+		}
+		p.wg.Done()
+	}
+}
+
+// deliverShard stages this round's messages for the receivers in worker w's
+// range and counts the messages sent by the senders in the same range. Every
+// worker scans every sender's outbox in node order and keeps only its own
+// receivers, so each receiver's staging order — (sender, send order), then
+// the canonical (edge, seq) sort — matches the sequential engine's exactly.
+// Workers write only to their own receivers' inboxes and their own totals
+// slot; outbox truncation waits for the coordinator after the barrier.
+func (p *workerPool) deliverShard(w int) {
+	r := p.r
+	lo, hi := p.lo[w], p.hi[w]
+	t := &p.totals[w]
+	t.sent, t.units = 0, 0
+	for v := lo; v < hi; v++ {
+		out := r.envs[v].out
+		t.sent += int64(len(out))
+		for i := range out {
+			t.units += payloadUnits(out[i].body)
+		}
+		if r.envs[v].halted {
+			r.inbox[v] = nil // never read again; release the staged payloads
+		} else {
+			clear(r.inbox[v]) // no stale payload refs for quiet receivers
+			r.inbox[v] = r.inbox[v][:0]
+		}
+	}
+	for s := range r.envs {
+		out := r.envs[s].out
+		for i := range out {
+			m := &out[i]
 			to := int(m.to)
-			if r.envs[to].halted {
-				continue // dropped: receiver terminated
+			if to < lo || to >= hi || r.envs[to].halted {
+				continue
 			}
-			r.inbox[to] = append(r.inbox[to], Message{Edge: m.edge, Payload: payloadWithSeq{m.body, m.edge, m.seq}})
-		}
-		env.out = env.out[:0]
-	}
-	for v := range r.inbox {
-		in := r.inbox[v]
-		if len(in) == 0 {
-			continue
-		}
-		// Singleton inboxes (and empty ones above) skip the sort: ordering
-		// zero or one messages is the identity, and sort.SliceStable
-		// allocates its reflection swapper even then, which would make
-		// every quiet round pay O(n) allocations for nothing.
-		if len(in) > 1 {
-			sort.SliceStable(in, func(i, j int) bool {
-				a := in[i].Payload.(payloadWithSeq)
-				b := in[j].Payload.(payloadWithSeq)
-				if a.edge != b.edge {
-					return a.edge < b.edge
-				}
-				return a.seq < b.seq
-			})
-		}
-		for i := range in {
-			in[i].Payload = in[i].Payload.(payloadWithSeq).body
+			r.inbox[to] = append(r.inbox[to], Message{Edge: m.edge, Payload: m.body, seq: int32(i)})
 		}
 	}
-	return sent, units
-}
-
-// payloadWithSeq temporarily tags payloads with ordering keys during
-// delivery.
-type payloadWithSeq struct {
-	body any
-	edge graph.EdgeID
-	seq  int32
+	for v := lo; v < hi; v++ {
+		sortInbox(r.inbox[v])
+	}
 }

@@ -3,6 +3,7 @@ package local
 import (
 	"context"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/graph"
@@ -595,6 +596,156 @@ func TestNoLedgerAllocsO1PerRound(t *testing.T) {
 		t.Fatalf("ledger-on control retained %d entries, want 8000", len(res.PerRound))
 	}
 }
+
+// busyProto saturates the message plane: every round it sends a pre-boxed
+// payload over every port and bumps a counter, and it never halts. Every
+// simulator-side cost of a busy round — outbox staging, delivery, inbox
+// sorting, counter accounting — recurs each round, so allocation growth
+// across schedules measures the steady-state cost of a busy round.
+type busyProto struct{ payload any }
+
+func (p *busyProto) Step(env *Env, round int, inbox []Message) {
+	for _, pt := range env.Ports() {
+		env.Send(pt.Edge, p.payload)
+	}
+	env.Count("busy", 1)
+}
+
+func TestBusyRoundAllocsSteadyStateZero(t *testing.T) {
+	// The zero-allocation delivery contract: once buffers have grown to the
+	// workload's high-water mark, a busy round allocates nothing. An 8x
+	// longer schedule of full-traffic rounds may cost at most a few more
+	// allocations (noise), on both engines. This is the busy-round
+	// complement of TestNoLedgerAllocsO1PerRound's quiet-round bound.
+	g := gen.Grid(5, 5)
+	for _, workers := range []int{0, 2} { // 0 = sequential engine
+		measure := func(rounds int) float64 {
+			return testing.AllocsPerRun(5, func() {
+				res, err := Run(g, func(graph.NodeID) Protocol { return &busyProto{payload: "x"} },
+					Config{Seed: 1, MaxRounds: rounds, NoLedger: true,
+						Concurrent: workers > 0, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Rounds != rounds {
+					t.Fatalf("executed %d rounds, want %d", res.Rounds, rounds)
+				}
+				if res.Counters["busy"] != int64(rounds*g.NumNodes()) {
+					t.Fatalf("counter = %d", res.Counters["busy"])
+				}
+			})
+		}
+		short, long := measure(500), measure(4000)
+		if long > short+8 {
+			t.Fatalf("workers=%d: busy-round allocations grew with rounds: %.0f at 500 rounds, %.0f at 4000",
+				workers, short, long)
+		}
+	}
+}
+
+// sweepPayload is the transcript payload of the worker-sweep equivalence
+// test: it encodes who sent it, over which port copy, and a private random
+// draw, so transcript equality pins message content, canonical inbox order,
+// and RNG stream stability all at once.
+type sweepPayload struct {
+	From graph.NodeID
+	Copy int
+	Draw uint64
+}
+
+// sweepRec is one delivered message as a node's transcript records it.
+type sweepRec struct {
+	Round int
+	Edge  graph.EdgeID
+	Body  sweepPayload
+}
+
+// sweepProto multi-sends on every port (several copies per edge per round)
+// and logs its inbox verbatim.
+type sweepProto struct {
+	t   int
+	log []sweepRec
+}
+
+func (p *sweepProto) Step(env *Env, round int, inbox []Message) {
+	for _, m := range inbox {
+		p.log = append(p.log, sweepRec{Round: round, Edge: m.Edge, Body: m.Payload.(sweepPayload)})
+	}
+	if round >= p.t {
+		env.Halt()
+		return
+	}
+	copies := 1 + round%3
+	for _, pt := range env.Ports() {
+		for k := 0; k < copies; k++ {
+			env.Send(pt.Edge, sweepPayload{From: env.ID(), Copy: k, Draw: env.Rand().Uint64()})
+		}
+	}
+	env.Count("sweep-sends", int64(copies*env.Degree()))
+}
+
+func TestEngineEquivalenceWorkerSweep(t *testing.T) {
+	// Property test: on a multigraph with parallel edges, under a protocol
+	// that sends several messages per edge per round, the concurrent engine
+	// must produce byte-identical Results and inbox orderings at every
+	// worker count — including worker counts that do not divide n.
+	g := gen.ConnectedGNP(41, 0.08, xrand.New(12))
+	src := xrand.New(99)
+	for k := 0; k < 30; k++ { // sprinkle parallel edges over existing ones
+		e := g.Edges()[src.Uint64()%uint64(g.NumEdges())]
+		g.AddEdge(e.U, e.V)
+	}
+	if g.IsSimple() {
+		t.Fatal("test graph must contain parallel edges")
+	}
+	execute := func(concurrent bool, workers int) ([][]sweepRec, Result) {
+		protos := make([]*sweepProto, g.NumNodes())
+		res, err := Run(g, func(v graph.NodeID) Protocol {
+			protos[v] = &sweepProto{t: 5}
+			return protos[v]
+		}, Config{Seed: 21, Concurrent: concurrent, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs := make([][]sweepRec, len(protos))
+		for i, p := range protos {
+			logs[i] = p.log
+		}
+		return logs, res
+	}
+	wantLogs, wantRes := execute(false, 0)
+	if wantRes.Messages == 0 || !wantRes.Halted {
+		t.Fatalf("degenerate baseline run: %+v", wantRes)
+	}
+	for _, workers := range []int{1, 2, 3, 7, runtime.GOMAXPROCS(0)} {
+		gotLogs, gotRes := execute(true, workers)
+		if !reflect.DeepEqual(gotRes, wantRes) {
+			t.Fatalf("workers=%d: Result differs from sequential engine:\n got %+v\nwant %+v", workers, gotRes, wantRes)
+		}
+		if !reflect.DeepEqual(gotLogs, wantLogs) {
+			t.Fatalf("workers=%d: inbox transcripts differ from sequential engine", workers)
+		}
+	}
+}
+
+// benchBusyRound prices one full-traffic round: a single run executes b.N
+// busy rounds, so ns/op is the marginal cost of a round (setup amortizes
+// away as b.N grows) and allocs/op exposes any steady-state allocation on
+// the message plane — the zero-allocation delivery contract says it
+// converges to 0.
+func benchBusyRound(b *testing.B, workers int) {
+	g := gen.Grid(16, 16)
+	b.ReportAllocs()
+	res, err := Run(g, func(graph.NodeID) Protocol { return &busyProto{payload: "x"} },
+		Config{Seed: 1, MaxRounds: b.N, NoLedger: true, Concurrent: workers > 0, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(res.Messages)/float64(b.N), "msgs/round")
+}
+
+func BenchmarkBusyRoundSequential(b *testing.B) { benchBusyRound(b, 0) }
+func BenchmarkBusyRoundConcurrent(b *testing.B) { benchBusyRound(b, 4) }
 
 func TestOnRoundObserver(t *testing.T) {
 	// OnRound must fire once per executed round, with per-round message
