@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// diffTolerances are the per-metric regression thresholds for -diff.
+// ns/op and B/op are ratio gates (new/old must stay at or under the factor:
+// wall-time is noisy across machine classes, bytes much less so), while
+// allocs/op is an absolute gate (allocation counts are deterministic, so
+// even +tol allocs is a real structural change).
+type diffTolerances struct {
+	nsRatio     float64 // new ns/op may be at most old * nsRatio
+	bytesRatio  float64 // new B/op may be at most old * bytesRatio
+	allocsDelta float64 // new allocs/op may be at most old + allocsDelta
+}
+
+// diffSnapshots compares two snapshots benchmark by benchmark and returns
+// the human-readable report plus the list of regressions. Benchmarks are
+// matched by (pkg, name); ones present on only one side are reported but
+// never fail the gate — adding or retiring a benchmark is not a perf
+// regression.
+func diffSnapshots(oldSnap, newSnap *Snapshot, tol diffTolerances) (report string, regressions []string) {
+	type key struct{ pkg, name string }
+	oldBy := make(map[key]Benchmark, len(oldSnap.Benchmarks))
+	for _, b := range oldSnap.Benchmarks {
+		oldBy[key{b.Pkg, b.Name}] = b
+	}
+	var sb strings.Builder
+	seen := make(map[key]bool, len(newSnap.Benchmarks))
+	for _, nb := range newSnap.Benchmarks {
+		k := key{nb.Pkg, nb.Name}
+		seen[k] = true
+		ob, ok := oldBy[k]
+		if !ok {
+			fmt.Fprintf(&sb, "  %-40s new benchmark (no baseline)\n", nb.Name)
+			continue
+		}
+		line, bad := diffOne(ob, nb, tol)
+		fmt.Fprintf(&sb, "  %-40s %s\n", nb.Name, line)
+		if bad != "" {
+			regressions = append(regressions, fmt.Sprintf("%s: %s", nb.Name, bad))
+		}
+	}
+	var removed []string
+	for k := range oldBy {
+		if !seen[k] {
+			removed = append(removed, k.name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(&sb, "  %-40s removed (present only in baseline)\n", name)
+	}
+	return sb.String(), regressions
+}
+
+// diffOne compares one benchmark pair and returns its report line plus a
+// non-empty violation description when a tolerance is exceeded.
+func diffOne(ob, nb Benchmark, tol diffTolerances) (line, violation string) {
+	var parts, bad []string
+	ratio := func(metric string) (oldV, newV, r float64, ok bool) {
+		oldV, okO := ob.Metrics[metric]
+		newV, okN := nb.Metrics[metric]
+		if !okO || !okN {
+			return 0, 0, 0, false
+		}
+		if oldV == 0 {
+			// A zero baseline cannot express a ratio; treat any nonzero new
+			// value as an explicit comparison instead of dividing by zero.
+			return oldV, newV, 1, true
+		}
+		return oldV, newV, newV / oldV, true
+	}
+	if oldV, newV, r, ok := ratio("ns/op"); ok {
+		parts = append(parts, fmt.Sprintf("ns/op %.0f -> %.0f (%.2fx)", oldV, newV, r))
+		if r > tol.nsRatio {
+			bad = append(bad, fmt.Sprintf("ns/op %.2fx over the %.2fx tolerance", r, tol.nsRatio))
+		}
+	}
+	if oldV, newV, r, ok := ratio("B/op"); ok {
+		parts = append(parts, fmt.Sprintf("B/op %.0f -> %.0f (%.2fx)", oldV, newV, r))
+		if newV > oldV*tol.bytesRatio && newV-oldV > 64 {
+			// The absolute floor keeps tiny baselines (a few bytes) from
+			// flagging constant-size jitter as a ratio blowout.
+			bad = append(bad, fmt.Sprintf("B/op %.2fx over the %.2fx tolerance", r, tol.bytesRatio))
+		}
+	}
+	if oldV, okO := ob.Metrics["allocs/op"]; okO {
+		if newV, okN := nb.Metrics["allocs/op"]; okN {
+			parts = append(parts, fmt.Sprintf("allocs/op %.0f -> %.0f", oldV, newV))
+			if newV > oldV+tol.allocsDelta {
+				bad = append(bad, fmt.Sprintf("allocs/op %.0f exceeds baseline %.0f + %.0f", newV, oldV, tol.allocsDelta))
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return "no shared metrics", ""
+	}
+	return strings.Join(parts, "  "), strings.Join(bad, "; ")
+}
+
+// loadSnapshot reads one bench JSON file.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return &snap, nil
+}
+
+// runDiff is the -diff entry point: load, compare, report, and exit
+// non-zero when any tolerance is exceeded.
+func runDiff(oldPath, newPath string, tol diffTolerances) error {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	report, regressions := diffSnapshots(oldSnap, newSnap, tol)
+	fmt.Fprintf(os.Stderr, "bench diff: %s -> %s\n%s", oldPath, newPath, report)
+	if len(regressions) > 0 {
+		return fmt.Errorf("perf regression gate failed:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintln(os.Stderr, "bench diff: within tolerances")
+	return nil
+}

@@ -79,7 +79,22 @@ func main() {
 	out := flag.String("out", "BENCH_5.json", "output JSON path (- for stdout)")
 	raw := flag.String("raw", "", "optionally also write the raw go test output to this path")
 	ceiling := flag.String("ceiling", "", "allocation gate: comma-separated name=maxAllocsPerOp pairs; exit non-zero when exceeded")
+	diffOld := flag.String("diff", "", "diff mode: compare this baseline snapshot against the snapshot named by the positional arg (`bench -diff old.json new.json`) instead of running benchmarks; exit non-zero on regression")
+	tolNS := flag.Float64("tolns", 8, "diff mode: max allowed ns/op ratio new/old (wall time is noisy across machine classes)")
+	tolB := flag.Float64("tolb", 2, "diff mode: max allowed B/op ratio new/old")
+	tolAllocs := flag.Float64("tolallocs", 0, "diff mode: max allowed allocs/op increase over baseline (allocation counts are deterministic)")
 	flag.Parse()
+
+	if *diffOld != "" {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-diff needs exactly one positional argument: bench -diff old.json new.json"))
+		}
+		tol := diffTolerances{nsRatio: *tolNS, bytesRatio: *tolB, allocsDelta: *tolAllocs}
+		if err := runDiff(*diffOld, flag.Arg(0), tol); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	ceilings, err := parseCeilings(*ceiling)
 	if err != nil {

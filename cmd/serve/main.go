@@ -1,0 +1,94 @@
+// Command serve runs the long-running simulation service: an HTTP/JSON
+// daemon over the scheme registry with engine pooling, backpressure, and a
+// Prometheus-style metrics endpoint.
+//
+//	serve -addr :8080 -shards 4 -queue 8
+//
+// Clients POST simulation requests to /v1/simulate (or /v1/stream for live
+// SSE progress), list schemes at /v1/schemes, and scrape /v1/metrics.
+// Requests for the same topology land on the same pooled engine, so its
+// stage-1 spanner cache amortizes across clients — the paper's free-lunch
+// argument as a service property.
+//
+// SIGINT/SIGTERM drains gracefully: intake stops (new requests get 503,
+// the health probe flips to draining), in-flight and queued runs complete,
+// then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		shards     = flag.Int("shards", 4, "engine shards; graphs route to shards by fingerprint")
+		queue      = flag.Int("queue", 8, "per-shard queue depth; beyond it requests get 429")
+		workers    = flag.Int("workers", 1, "concurrent runs per shard")
+		cacheSize  = flag.Int("cache", 0, "spanner cache entries per shard engine (0 = default)")
+		maxNodes   = flag.Int("maxnodes", 4096, "largest graph a request may ask for")
+		maxT       = flag.Int("maxt", 64, "largest algorithm round budget a request may ask for")
+		deadline   = flag.Duration("deadline", 30*time.Second, "default per-run wall-clock budget")
+		maxDL      = flag.Duration("maxdeadline", 2*time.Minute, "cap on client-requested deadlines")
+		drainGrace = flag.Duration("draingrace", time.Minute, "how long shutdown waits for in-flight runs")
+	)
+	flag.Parse()
+
+	svc := serve.New(serve.Config{
+		Shards:          *shards,
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		MaxNodes:        *maxNodes,
+		MaxT:            *maxT,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDL,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+
+	// The "listening on" line is the startup handshake scripts key on (the
+	// CI smoke test reads the bound port from it), so it goes to stdout
+	// before any request is served.
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Drain order matters: Shutdown first, so every handler still waiting
+	// on a queued job gets to finish and write its response, then Close the
+	// pool (which refuses new work and runs the queue dry).
+	log.Println("draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	svc.Close()
+	log.Println("drained")
+}

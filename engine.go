@@ -3,6 +3,7 @@ package repro
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -11,6 +12,12 @@ import (
 	"repro/internal/local"
 	"repro/internal/simulate"
 )
+
+// ErrDeadline is the typed failure returned when a run exceeds the engine's
+// WithDeadline wall-clock budget: the run's context expires, every scheme's
+// round loop aborts within one node step's work, and the result is discarded.
+// It wraps context.DeadlineExceeded, so errors.Is matches either sentinel.
+var ErrDeadline error = fmt.Errorf("repro: wall-clock deadline exceeded: %w", context.DeadlineExceeded)
 
 // DefaultCacheSize is the stage-1 spanner cache's capacity when
 // WithCacheSize is not given: enough for a healthy experiment sweep, small
@@ -205,7 +212,23 @@ func (e *Engine) Run(ctx context.Context, scheme string, g *Graph, spec Algorith
 	if err != nil {
 		return nil, err
 	}
-	return e.RunScheme(ctx, s, g, spec)
+	return e.RunSchemeWith(ctx, s, g, spec)
+}
+
+// RunWith is Run with per-run option overrides: the extra options are
+// layered over the engine's configuration for this run only, leaving the
+// engine and its other runs untouched. This is the entry point for serving
+// layers that multiplex many clients over one engine — the shared stage-1
+// spanner cache keeps amortizing across requests while each request brings
+// its own seed, budgets (WithMaxRounds, WithDeadline), and observers.
+// Overrides are validated exactly like construction-time options; note that
+// WithCacheSize only takes effect at engine construction.
+func (e *Engine) RunWith(ctx context.Context, scheme string, g *Graph, spec AlgorithmSpec, extra ...Option) (*SimulationResult, error) {
+	s, err := Lookup(scheme)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunSchemeWith(ctx, s, g, spec, extra...)
 }
 
 // RunScheme executes an already-resolved scheme on g.
@@ -223,7 +246,16 @@ func (e *Engine) Run(ctx context.Context, scheme string, g *Graph, spec Algorith
 // when repeated, once the cached stage-1 spanner brings the bill down to
 // the collection phases alone — exactly the amortized cost the paper
 // argues for. Budget a cold pipeline with WithNoCache or Reset.
+//
+// A positive WithDeadline is enforced the same way, as a wall-clock budget:
+// the run executes under a context that expires after the configured
+// duration, and a run cut short by it fails with the typed ErrDeadline.
 func (e *Engine) RunScheme(ctx context.Context, s Scheme, g *Graph, spec AlgorithmSpec) (*SimulationResult, error) {
+	return e.RunSchemeWith(ctx, s, g, spec)
+}
+
+// RunSchemeWith is RunScheme with per-run option overrides; see RunWith.
+func (e *Engine) RunSchemeWith(ctx context.Context, s Scheme, g *Graph, spec AlgorithmSpec, extra ...Option) (*SimulationResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -233,10 +265,22 @@ func (e *Engine) RunScheme(ctx context.Context, s Scheme, g *Graph, spec Algorit
 	if g == nil {
 		return nil, fmt.Errorf("repro: nil graph")
 	}
-	o := e.Options() // private copy: schemes may not mutate engine state
+	o := e.Options() // private copy: schemes (and overrides) may not mutate engine state
+	for _, fn := range extra {
+		if fn != nil {
+			fn(&o)
+		}
+	}
 	o.stage1 = e.stage1Source(&o)
 	if err := s.Validate(&o); err != nil {
 		return nil, fmt.Errorf("repro: scheme %s: %w", s.Name(), err)
+	}
+	var deadlineCtx context.Context
+	if o.Deadline > 0 {
+		var cancel context.CancelFunc
+		deadlineCtx, cancel = context.WithTimeout(ctx, o.Deadline)
+		defer cancel()
+		ctx = deadlineCtx
 	}
 	var guard *roundGuard
 	if o.MaxRounds > 0 {
@@ -252,6 +296,14 @@ func (e *Engine) RunScheme(ctx context.Context, s Scheme, g *Graph, spec Algorit
 			s.Name(), guard.seen, o.MaxRounds, ErrRoundBudget)
 	}
 	if err != nil {
+		// Attribute a deadline expiry to the engine budget only when the
+		// budget's own context actually expired — a parent context that
+		// carried its own earlier deadline keeps its plain error.
+		if deadlineCtx != nil && errors.Is(err, context.DeadlineExceeded) &&
+			errors.Is(deadlineCtx.Err(), context.DeadlineExceeded) {
+			return nil, fmt.Errorf("repro: scheme %s: run exceeded its %v wall-clock budget: %w",
+				s.Name(), o.Deadline, ErrDeadline)
+		}
 		return nil, err
 	}
 	if o.MaxRounds > 0 && res.Rounds > o.MaxRounds {

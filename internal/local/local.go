@@ -478,21 +478,32 @@ func (r *run) stepAllSequential(round int) {
 	}
 }
 
+// msgOrder is the canonical inbox ordering: edge ID, then the sender's send
+// order within the round.
+func msgOrder(a, b Message) int {
+	if c := cmp.Compare(a.Edge, b.Edge); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.seq, b.seq)
+}
+
 // sortInbox establishes the canonical (edge, send order) inbox ordering.
 // The keys ride in the Message struct, so the stable sort runs over the
 // concrete slice: no interface boxing, no reflection swapper, no
 // allocation. Empty and singleton inboxes skip it — ordering them is the
-// identity, and quiet rounds must stay free.
+// identity, and quiet rounds must stay free. Buckets that staged already
+// in canonical order — common when a receiver hears from one sender, whose
+// sends arrive in (edge, seq) order by construction — skip the sort behind
+// a linear is-sorted scan: a stable sort of a sorted slice is the identity,
+// so the fast path cannot change any execution.
 func sortInbox(in []Message) {
 	if len(in) < 2 {
 		return
 	}
-	slices.SortStableFunc(in, func(a, b Message) int {
-		if c := cmp.Compare(a.Edge, b.Edge); c != 0 {
-			return c
-		}
-		return cmp.Compare(a.seq, b.seq)
-	})
+	if slices.IsSortedFunc(in, msgOrder) {
+		return
+	}
+	slices.SortStableFunc(in, msgOrder)
 }
 
 // deliverSequential moves this round's sends into next round's inboxes and

@@ -4,6 +4,7 @@ import (
 	"context"
 	"reflect"
 	"runtime"
+	"slices"
 	"testing"
 
 	"repro/internal/graph"
@@ -725,6 +726,53 @@ func TestEngineEquivalenceWorkerSweep(t *testing.T) {
 		if !reflect.DeepEqual(gotLogs, wantLogs) {
 			t.Fatalf("workers=%d: inbox transcripts differ from sequential engine", workers)
 		}
+	}
+}
+
+// TestSortInboxAlreadySortedFastPath pins the delivery sort's fast path: a
+// staged bucket already in canonical (edge, seq) order must pass through
+// sortInbox untouched (the is-sorted guard makes it the identity, exactly
+// what a stable sort of a sorted slice would be), an unsorted bucket must
+// still land in canonical order, and ties on the full (edge, seq) key must
+// keep their staging order (stability). TestEngineEquivalenceWorkerSweep
+// pins the same property end to end across both engines.
+func TestSortInboxAlreadySortedFastPath(t *testing.T) {
+	sorted := []Message{
+		{Edge: 1, seq: 0, Payload: "a"},
+		{Edge: 1, seq: 2, Payload: "b"},
+		{Edge: 3, seq: 1, Payload: "c"},
+		{Edge: 3, seq: 1, Payload: "d"}, // duplicate key: parallel senders
+		{Edge: 7, seq: 0, Payload: "e"},
+	}
+	if !slices.IsSortedFunc(sorted, msgOrder) {
+		t.Fatal("fixture is not canonically sorted")
+	}
+	got := append([]Message(nil), sorted...)
+	sortInbox(got)
+	if !reflect.DeepEqual(got, sorted) {
+		t.Fatalf("sortInbox perturbed an already-sorted bucket:\n got %v\nwant %v", got, sorted)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { sortInbox(got) }); allocs != 0 {
+		t.Fatalf("sortInbox allocated %.1f times on the sorted fast path", allocs)
+	}
+
+	unsorted := []Message{
+		{Edge: 7, seq: 0, Payload: "e"},
+		{Edge: 3, seq: 1, Payload: "c"},
+		{Edge: 1, seq: 2, Payload: "b"},
+		{Edge: 3, seq: 1, Payload: "d"}, // ties with "c"; staged after it
+		{Edge: 1, seq: 0, Payload: "a"},
+	}
+	sortInbox(unsorted)
+	want := []Message{
+		{Edge: 1, seq: 0, Payload: "a"},
+		{Edge: 1, seq: 2, Payload: "b"},
+		{Edge: 3, seq: 1, Payload: "c"},
+		{Edge: 3, seq: 1, Payload: "d"}, // stability: "c" before "d"
+		{Edge: 7, seq: 0, Payload: "e"},
+	}
+	if !reflect.DeepEqual(unsorted, want) {
+		t.Fatalf("sortInbox mis-ordered an unsorted bucket:\n got %v\nwant %v", unsorted, want)
 	}
 }
 

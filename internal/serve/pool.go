@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro"
+)
+
+// Errors the pool reports to the HTTP layer.
+var (
+	// ErrQueueFull is backpressure: the target shard's bounded queue is at
+	// capacity. The HTTP layer maps it to 429 with a Retry-After hint.
+	ErrQueueFull = errors.New("serve: shard queue full")
+	// ErrClosed means the pool is draining or drained and accepts no new
+	// work. The HTTP layer maps it to 503.
+	ErrClosed = errors.New("serve: pool closed")
+)
+
+// job is one unit of simulation work bound to the requesting client's
+// context. The submitting handler blocks on done; the shard worker runs fn
+// and closes done, recording a protocol panic (a programming error in
+// simulated code, deliberately propagated by the simulator) instead of
+// letting it kill the process.
+type job struct {
+	ctx      context.Context
+	fn       func(ctx context.Context)
+	done     chan struct{}
+	panicked any
+}
+
+// shard is one engine plus its bounded work queue. All requests whose graph
+// fingerprint routes here share the engine — and therefore its singleflight
+// LRU spanner cache, which is the whole point: clients hitting the same
+// topology amortize the stage-1 construction across requests.
+type shard struct {
+	id  int
+	eng *repro.Engine
+
+	mu     sync.RWMutex // guards closed vs. concurrent submits
+	closed bool
+	jobs   chan *job
+}
+
+// submit enqueues without blocking: a full queue is backpressure, not a
+// wait. The read lock excludes a concurrent close, so the channel send
+// cannot race the channel close.
+func (s *shard) submit(j *job) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case s.jobs <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// close stops intake. Jobs already queued still run to completion — each
+// has a client handler blocked on it — which is what makes drain graceful.
+func (s *shard) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+}
+
+// pool is the engine pool: shards engines, each with workers worker
+// goroutines consuming its queue. Routing is by graph fingerprint, so one
+// topology always lands on one engine regardless of which client sends it.
+type pool struct {
+	shards []*shard
+	wg     sync.WaitGroup
+}
+
+// newPool builds shards engines via engine (called once per shard) and
+// starts their workers.
+func newPool(shards, queueDepth, workers int, engine func() *repro.Engine) *pool {
+	if shards < 1 {
+		shards = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &pool{}
+	for i := 0; i < shards; i++ {
+		sh := &shard{id: i, eng: engine(), jobs: make(chan *job, queueDepth)}
+		p.shards = append(p.shards, sh)
+		for w := 0; w < workers; w++ {
+			p.wg.Add(1)
+			go p.work(sh)
+		}
+	}
+	return p
+}
+
+// shardFor routes a graph fingerprint to its shard.
+func (p *pool) shardFor(fingerprint uint64) *shard {
+	return p.shards[fingerprint%uint64(len(p.shards))]
+}
+
+// depths returns the live queue depth per shard (for the metrics gauge).
+func (p *pool) depths() []int {
+	out := make([]int, len(p.shards))
+	for i, sh := range p.shards {
+		out[i] = len(sh.jobs)
+	}
+	return out
+}
+
+// close drains the pool: intake stops immediately, queued jobs run to
+// completion, workers exit, and close returns only when every worker has.
+// Safe to call more than once.
+func (p *pool) close() {
+	for _, sh := range p.shards {
+		sh.close()
+	}
+	p.wg.Wait()
+}
+
+// work is one shard worker: it consumes jobs until the shard closes and its
+// queue is empty.
+func (p *pool) work(sh *shard) {
+	defer p.wg.Done()
+	for j := range sh.jobs {
+		runJob(j)
+	}
+}
+
+// runJob executes one job, converting a simulated-protocol panic into a
+// recorded failure: one poisonous request must not take the service down.
+func runJob(j *job) {
+	defer close(j.done)
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicked = fmt.Sprintf("%v", r)
+		}
+	}()
+	j.fn(j.ctx)
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+// namespace prefixes every exposed metric family.
+const namespace = "freelunch"
+
+// writeExposition renders the Prometheus text exposition: the server's own
+// counters and gauges first, then the per-scheme MetricsSink families
+// merged so each family's HELP/TYPE header appears exactly once even
+// though every scheme contributes samples to it.
+func (s *Server) writeExposition(w io.Writer) {
+	for _, f := range s.serverFamilies() {
+		writeFamily(w, f)
+	}
+	for _, f := range s.schemeFamilies() {
+		writeFamily(w, f)
+	}
+}
+
+// serverFamilies snapshots the service-level counters.
+func (s *Server) serverFamilies() []repro.MetricFamily {
+	fams := []repro.MetricFamily{
+		{Name: "serve_requests_total", Type: "counter", Help: "HTTP requests served, by endpoint and status code."},
+		{Name: "serve_simulate_total", Type: "counter", Help: "Simulation requests, by scheme and outcome."},
+		{Name: "serve_rejections_total", Type: "counter", Help: "Requests rejected with 429 because a shard queue was full."},
+		{Name: "serve_queue_depth", Type: "gauge", Help: "Jobs waiting in each shard queue."},
+		{Name: "serve_queue_capacity", Type: "gauge", Help: "Per-shard queue capacity."},
+		{Name: "serve_shards", Type: "gauge", Help: "Engine shards in the pool."},
+		{Name: "serve_inflight", Type: "gauge", Help: "Simulation requests currently admitted (queued or running)."},
+		{Name: "serve_spanner_cache_hits_total", Type: "counter", Help: "Successful runs that reused a cached stage-1 spanner (phase sampler(cached) on the bill)."},
+		{Name: "serve_graph_cache_hits_total", Type: "counter", Help: "Requests whose generated graph came from the graph LRU."},
+		{Name: "serve_graph_cache_misses_total", Type: "counter", Help: "Requests whose graph had to be built."},
+		{Name: "serve_stream_dropped_events_total", Type: "counter", Help: "SSE progress events dropped because a stream consumer lagged."},
+		{Name: "serve_draining", Type: "gauge", Help: "1 while the server is draining, 0 while serving."},
+	}
+	s.countMu.Lock()
+	for _, k := range sortedKeys(s.httpRequests) {
+		fams[0].Samples = append(fams[0].Samples, repro.MetricSample{
+			Labels: []repro.MetricLabel{{Name: "endpoint", Value: k[0]}, {Name: "code", Value: k[1]}},
+			Value:  float64(s.httpRequests[k]),
+		})
+	}
+	for _, k := range sortedKeys(s.outcomes) {
+		fams[1].Samples = append(fams[1].Samples, repro.MetricSample{
+			Labels: []repro.MetricLabel{{Name: "scheme", Value: k[0]}, {Name: "outcome", Value: k[1]}},
+			Value:  float64(s.outcomes[k]),
+		})
+	}
+	s.countMu.Unlock()
+	fams[2].Samples = scalar(float64(s.rejections.Load()))
+	for i, depth := range s.pool.depths() {
+		fams[3].Samples = append(fams[3].Samples, repro.MetricSample{
+			Labels: []repro.MetricLabel{{Name: "shard", Value: strconv.Itoa(i)}},
+			Value:  float64(depth),
+		})
+	}
+	fams[4].Samples = scalar(float64(s.cfg.QueueDepth))
+	fams[5].Samples = scalar(float64(s.cfg.Shards))
+	fams[6].Samples = scalar(float64(s.inflight.Load()))
+	fams[7].Samples = scalar(float64(s.spannerHits.Load()))
+	fams[8].Samples = scalar(float64(s.graphHits.Load()))
+	fams[9].Samples = scalar(float64(s.graphMisses.Load()))
+	fams[10].Samples = scalar(float64(s.streamDrops.Load()))
+	draining := 0.0
+	if s.draining.Load() {
+		draining = 1
+	}
+	fams[11].Samples = scalar(draining)
+	return fams
+}
+
+// schemeFamilies merges every scheme sink's snapshot families by name, so
+// the exposition carries one header per family with a sample per
+// (scheme, phase).
+func (s *Server) schemeFamilies() []repro.MetricFamily {
+	s.sinksMu.Lock()
+	names := make([]string, 0, len(s.sinks))
+	snaps := make(map[string]repro.MetricsSnapshot, len(s.sinks))
+	for name, sink := range s.sinks {
+		names = append(names, name)
+		snaps[name] = sink.Snapshot()
+	}
+	s.sinksMu.Unlock()
+	sort.Strings(names)
+
+	var (
+		order  []string
+		merged = make(map[string]*repro.MetricFamily)
+	)
+	for _, scheme := range names {
+		fams := snaps[scheme].MetricFamilies(repro.MetricLabel{Name: "scheme", Value: scheme})
+		for _, f := range fams {
+			m, ok := merged[f.Name]
+			if !ok {
+				cp := f
+				cp.Samples = append([]repro.MetricSample(nil), f.Samples...)
+				merged[f.Name] = &cp
+				order = append(order, f.Name)
+				continue
+			}
+			m.Samples = append(m.Samples, f.Samples...)
+		}
+	}
+	out := make([]repro.MetricFamily, 0, len(order))
+	for _, name := range order {
+		out = append(out, *merged[name])
+	}
+	return out
+}
+
+// scalar is a single unlabeled sample.
+func scalar(v float64) []repro.MetricSample {
+	return []repro.MetricSample{{Value: v}}
+}
+
+// sortedKeys returns the map's keys in lexicographic order so the
+// exposition is deterministic.
+func sortedKeys(m map[[2]string]int64) [][2]string {
+	keys := make([][2]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// writeFamily renders one family: HELP and TYPE once, then each sample as
+// name[suffix]{labels} value.
+func writeFamily(w io.Writer, f repro.MetricFamily) {
+	if len(f.Samples) == 0 {
+		return
+	}
+	name := namespace + "_" + f.Name
+	fmt.Fprintf(w, "# HELP %s %s\n", name, f.Help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, f.Type)
+	for _, sm := range f.Samples {
+		fmt.Fprintf(w, "%s%s%s %s\n", name, sm.Suffix, renderLabels(sm.Labels), formatValue(sm.Value))
+	}
+}
+
+// renderLabels formats {k="v",...} with Prometheus label-value escaping
+// (backslash, double quote, newline).
+func renderLabels(labels []repro.MetricLabel) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest float form.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,389 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/algorithms"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/xrand"
+)
+
+// SimulateRequest is the POST /v1/simulate (and /v1/stream) body: which
+// scheme to run, on what graph, simulating which algorithm, under which
+// per-request budgets and knobs.
+type SimulateRequest struct {
+	Scheme    string     `json:"scheme"`
+	Graph     GraphSpec  `json:"graph"`
+	Algorithm AlgoSpec   `json:"algorithm"`
+	Options   RunOptions `json:"options"`
+	// IncludeOutputs echoes every node's output in the response. Off by
+	// default: outputs are O(n) payload and most clients only want costs.
+	IncludeOutputs bool `json:"include_outputs,omitempty"`
+}
+
+// GraphSpec selects a topology: either a named generator family with its
+// parameters, or an inline edge list. Generated graphs are deterministic in
+// (family, n, deg, seed), so the server can cache them and — more
+// importantly — identical specs from different clients fingerprint
+// identically and share one engine shard's spanner cache.
+type GraphSpec struct {
+	// Family is one of complete, cycle, path, star, grid, torus, hypercube,
+	// barbell, gnp, tree, regular, or pa. Empty selects the inline Edges.
+	Family string  `json:"family,omitempty"`
+	N      int     `json:"n,omitempty"`
+	Deg    float64 `json:"deg,omitempty"` // gnp average degree; regular degree; pa attachment count
+	Seed   uint64  `json:"seed,omitempty"`
+
+	// Nodes and Edges define an inline graph: Nodes vertices (0..Nodes-1)
+	// and an undirected edge per [u, v] pair. Edge IDs are assigned in
+	// list order, so the same list always fingerprints the same way.
+	Nodes int      `json:"nodes,omitempty"`
+	Edges [][2]int `json:"edges,omitempty"`
+}
+
+// AlgoSpec selects the simulated t-round LOCAL algorithm.
+type AlgoSpec struct {
+	// Name is maxid, mis, coloring, or bfs. Empty means maxid.
+	Name string `json:"name,omitempty"`
+	// T is the round budget for maxid/bfs (default 4). Zero for
+	// mis/coloring selects their whp-termination budgets.
+	T int `json:"t,omitempty"`
+	// Source is the BFS root (bfs only).
+	Source int `json:"source,omitempty"`
+}
+
+// RunOptions are the per-request engine overrides. Zero values mean "engine
+// default"; invalid values are rejected by the engine's own validation and
+// surface as 400s.
+type RunOptions struct {
+	Seed           uint64  `json:"seed,omitempty"`
+	Gamma          int     `json:"gamma,omitempty"`
+	StageK         int     `json:"stage_k,omitempty"`
+	Bandwidth      int     `json:"bandwidth,omitempty"`
+	HybridFraction float64 `json:"hybrid_fraction,omitempty"`
+	KT1            bool    `json:"kt1,omitempty"`
+	// MaxRounds caps billed LOCAL rounds (ErrRoundBudget -> 422).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// DeadlineMS caps wall-clock time (ErrDeadline -> 504). Zero takes the
+	// server's default; values above the server cap are clamped to it.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// PhaseJSON is one pipeline stage of the response bill.
+type PhaseJSON struct {
+	Name     string  `json:"name"`
+	Rounds   int     `json:"rounds"`
+	Messages int64   `json:"messages"`
+	Dilation float64 `json:"dilation,omitempty"`
+}
+
+// SimulateResponse is the POST /v1/simulate reply.
+type SimulateResponse struct {
+	Scheme           string      `json:"scheme"`
+	GraphNodes       int         `json:"graph_nodes"`
+	GraphEdges       int         `json:"graph_edges"`
+	GraphFingerprint string      `json:"graph_fingerprint"`
+	Rounds           int         `json:"rounds"`
+	Messages         int64       `json:"messages"`
+	Phases           []PhaseJSON `json:"phases"`
+	SpannerEdges     int         `json:"spanner_edges,omitempty"`
+	StretchUsed      int         `json:"stretch_used,omitempty"`
+	// SpannerCached reports whether this run reused a cached stage-1
+	// spanner ("sampler(cached)" on the bill) instead of rebuilding it.
+	SpannerCached bool `json:"spanner_cached"`
+	// OutputsFNV fingerprints the node outputs (FNV-1a over their printed
+	// forms) so clients can compare runs for fidelity without shipping O(n)
+	// outputs; Outputs itself is present only when include_outputs is set.
+	OutputsFNV string `json:"outputs_fnv"`
+	Outputs    []any  `json:"outputs,omitempty"`
+	ElapsedMS  int64  `json:"elapsed_ms"`
+	ShardID    int    `json:"shard"`
+}
+
+// SchemeJSON is one GET /v1/schemes entry.
+type SchemeJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// errBadRequest marks client errors (malformed graph/algorithm/options) so
+// the handler can answer 400 instead of 500.
+type errBadRequest struct{ err error }
+
+func (e errBadRequest) Error() string { return e.err.Error() }
+func (e errBadRequest) Unwrap() error { return e.err }
+
+func badRequestf(format string, args ...any) error {
+	return errBadRequest{fmt.Errorf(format, args...)}
+}
+
+// buildGraph materializes the spec, enforcing the server's node budget.
+func buildGraph(spec GraphSpec, maxNodes int) (*graph.Graph, error) {
+	if len(spec.Edges) > 0 || spec.Nodes > 0 {
+		if spec.Family != "" {
+			return nil, badRequestf("graph: family %q and inline edges are mutually exclusive", spec.Family)
+		}
+		return buildInline(spec, maxNodes)
+	}
+	return buildFamily(spec, maxNodes)
+}
+
+// buildInline assembles a graph from an explicit edge list.
+func buildInline(spec GraphSpec, maxNodes int) (*graph.Graph, error) {
+	n := spec.Nodes
+	for _, e := range spec.Edges {
+		if e[0] >= n {
+			n = e[0] + 1
+		}
+		if e[1] >= n {
+			n = e[1] + 1
+		}
+	}
+	if n < 2 {
+		return nil, badRequestf("graph: inline graph needs at least 2 nodes")
+	}
+	if n > maxNodes {
+		return nil, badRequestf("graph: %d nodes exceeds the server cap of %d", n, maxNodes)
+	}
+	g := graph.New(n)
+	for i, e := range spec.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 {
+			return nil, badRequestf("graph: edge %d (%d,%d) has a negative endpoint", i, u, v)
+		}
+		if u == v {
+			return nil, badRequestf("graph: edge %d (%d,%d) is a self-loop", i, u, v)
+		}
+		g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	return g, nil
+}
+
+// buildFamily runs the named deterministic generator.
+func buildFamily(spec GraphSpec, maxNodes int) (*graph.Graph, error) {
+	n := spec.N
+	if n <= 0 {
+		n = 64
+	}
+	if n > maxNodes {
+		return nil, badRequestf("graph: n=%d exceeds the server cap of %d", n, maxNodes)
+	}
+	deg := spec.Deg
+	if deg <= 0 {
+		deg = 8
+	}
+	rng := xrand.New(spec.Seed) // same seeding as cmd/simulate: identical specs, identical graphs
+	switch spec.Family {
+	case "", "complete":
+		return gen.Complete(n), nil
+	case "cycle":
+		return gen.Cycle(n), nil
+	case "path":
+		return gen.Path(n), nil
+	case "star":
+		return gen.Star(n), nil
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		if side < 2 {
+			side = 2
+		}
+		return gen.Grid(side, side), nil
+	case "torus":
+		side := int(math.Sqrt(float64(n)))
+		if side < 2 {
+			side = 2
+		}
+		return gen.Torus(side, side), nil
+	case "hypercube":
+		d := int(math.Round(math.Log2(float64(n))))
+		if d < 1 {
+			d = 1
+		}
+		return gen.Hypercube(d), nil
+	case "barbell":
+		if n < 6 {
+			return nil, badRequestf("graph: barbell needs n >= 6, got %d", n)
+		}
+		return gen.Barbell(n/2, 4), nil
+	case "gnp":
+		if n < 2 {
+			return nil, badRequestf("graph: gnp needs n >= 2, got %d", n)
+		}
+		return gen.Connectify(gen.GNP(n, deg/float64(n-1), rng), rng), nil
+	case "tree":
+		return gen.RandomTree(n, rng), nil
+	case "regular":
+		d := int(deg)
+		if d < 1 || d >= n || n*d%2 != 0 {
+			return nil, badRequestf("graph: regular needs 1 <= deg < n with n*deg even, got n=%d deg=%d", n, d)
+		}
+		return gen.Connectify(gen.RandomRegular(n, d, rng), rng), nil
+	case "pa":
+		m := int(deg)
+		if m < 1 {
+			m = 1
+		}
+		return gen.PreferentialAttachment(n, m, rng), nil
+	default:
+		return nil, badRequestf("graph: unknown family %q", spec.Family)
+	}
+}
+
+// specKey canonicalizes a generated-graph spec for the server's graph
+// cache. Inline graphs return "" (uncached: arbitrary payloads would let
+// clients grow the cache with garbage keys).
+func specKey(spec GraphSpec) string {
+	if len(spec.Edges) > 0 || spec.Nodes > 0 {
+		return ""
+	}
+	family := spec.Family
+	if family == "" {
+		family = "complete"
+	}
+	return fmt.Sprintf("%s/n=%d/deg=%g/seed=%d", family, spec.N, spec.Deg, spec.Seed)
+}
+
+// buildSpec resolves the algorithm selection, clamping t to maxT.
+func buildSpec(a AlgoSpec, n, maxT int) (repro.AlgorithmSpec, error) {
+	t := a.T
+	if t < 0 || t > maxT {
+		return repro.AlgorithmSpec{}, badRequestf("algorithm: t=%d outside [0, %d]", a.T, maxT)
+	}
+	switch a.Name {
+	case "", "maxid":
+		if t == 0 {
+			t = 4
+		}
+		return algorithms.MaxID(t), nil
+	case "mis":
+		if t == 0 {
+			t = min(algorithms.MISRounds(n), maxT)
+		}
+		return algorithms.MIS(t), nil
+	case "coloring":
+		if t == 0 {
+			t = min(algorithms.ColoringRounds(n), maxT)
+		}
+		return algorithms.Coloring(t), nil
+	case "bfs":
+		if t == 0 {
+			t = 4
+		}
+		if a.Source < 0 || a.Source >= n {
+			return repro.AlgorithmSpec{}, badRequestf("algorithm: bfs source %d outside [0, %d)", a.Source, n)
+		}
+		return algorithms.BFS(graph.NodeID(a.Source), t), nil
+	default:
+		return repro.AlgorithmSpec{}, badRequestf("algorithm: unknown name %q (maxid|mis|coloring|bfs)", a.Name)
+	}
+}
+
+// extras translates the request's overrides into per-run engine options.
+// The deadline is always set: defaultDeadline when the client names none,
+// clamped to maxDeadline otherwise — no request runs unbounded.
+func (o RunOptions) extras(defaultDeadline, maxDeadline time.Duration) []repro.Option {
+	out := []repro.Option{repro.WithSeed(o.Seed)}
+	if o.Gamma != 0 {
+		out = append(out, repro.WithGamma(o.Gamma))
+	}
+	if o.StageK != 0 {
+		out = append(out, repro.WithStageK(o.StageK))
+	}
+	if o.Bandwidth != 0 {
+		out = append(out, repro.WithBandwidth(o.Bandwidth))
+	}
+	if o.HybridFraction != 0 {
+		out = append(out, repro.WithHybridFraction(o.HybridFraction))
+	}
+	if o.KT1 {
+		out = append(out, repro.WithKT1(true))
+	}
+	if o.MaxRounds != 0 {
+		out = append(out, repro.WithMaxRounds(o.MaxRounds))
+	}
+	d := time.Duration(o.DeadlineMS) * time.Millisecond
+	if d <= 0 {
+		d = defaultDeadline
+	}
+	if d > maxDeadline {
+		d = maxDeadline
+	}
+	out = append(out, repro.WithDeadline(d))
+	return out
+}
+
+// graphCache is a small LRU of generated graphs keyed by canonical spec
+// string. It exists for latency (skip regeneration), not correctness —
+// generators are deterministic, so a miss rebuilds an identical graph with
+// an identical fingerprint.
+type graphCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *graphEntry
+	byKey map[string]*list.Element
+}
+
+type graphEntry struct {
+	key string
+	g   *graph.Graph
+}
+
+func newGraphCache(capacity int) *graphCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &graphCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached graph for key, marking it most recently used.
+func (c *graphCache) get(key string) (*graph.Graph, bool) {
+	if key == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*graphEntry).g, true
+}
+
+// put inserts key -> g, evicting the least recently used entry past cap.
+func (c *graphCache) put(key string, g *graph.Graph) {
+	if key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*graphEntry).g = g
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&graphEntry{key: key, g: g})
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.byKey, el.Value.(*graphEntry).key)
+	}
+}
+
+// listSchemes renders the registry for GET /v1/schemes.
+func listSchemes() []SchemeJSON {
+	schemes := repro.Schemes()
+	out := make([]SchemeJSON, 0, len(schemes))
+	for _, s := range schemes {
+		out = append(out, SchemeJSON{Name: s.Name(), Description: s.Description()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

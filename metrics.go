@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"strconv"
 	"sync"
 
 	"repro/internal/stats"
@@ -160,4 +161,82 @@ func (s *MetricsSink) Reset() {
 	s.phases = make(map[string]*phaseAgg)
 	s.order = nil
 	s.mu.Unlock()
+}
+
+// MetricLabel is one label pair of an exposition sample.
+type MetricLabel struct {
+	Name, Value string
+}
+
+// MetricSample is one sample of a metric family: an optional name suffix
+// (histogram series use "_bucket", "_sum", "_count"), its label pairs, and
+// the value.
+type MetricSample struct {
+	Suffix string
+	Labels []MetricLabel
+	Value  float64
+}
+
+// MetricFamily is one Prometheus-style metric family derived from a
+// snapshot: a bare name (no namespace prefix), its type and help text, and
+// its samples. Encoders prepend their namespace and render the text
+// exposition; see internal/serve for the HTTP endpoint that does.
+type MetricFamily struct {
+	Name    string // e.g. "phase_rounds_total"
+	Type    string // "counter", "gauge", or "histogram"
+	Help    string
+	Samples []MetricSample
+}
+
+// MetricFamilies maps the snapshot onto Prometheus-style metric families,
+// attaching base labels (e.g. {scheme="scheme1"}) to every sample alongside
+// the per-phase "phase" label. The phase label values are the Observer
+// phase names (see Observer's documented list: "direct", "sampler",
+// "sampler(cached)", "simulate-bs"/"simulate-en", "collect",
+// "collect(congest)", "collect(residue)", "gossip(seed)", "gossip",
+// "globalcast"). The log-bucketed per-round message histogram becomes a
+// cumulative Prometheus histogram: each [lo, hi) power-of-two bucket turns
+// into the inclusive upper bound le = hi−1 (message counts are integers),
+// with _sum the executed messages and _count the executed rounds.
+func (s MetricsSnapshot) MetricFamilies(base ...MetricLabel) []MetricFamily {
+	labels := func(phase string) []MetricLabel {
+		out := make([]MetricLabel, 0, len(base)+1)
+		out = append(out, base...)
+		return append(out, MetricLabel{Name: "phase", Value: phase})
+	}
+	fams := []MetricFamily{
+		{Name: "phase_rounds_total", Type: "counter", Help: "LOCAL rounds executed, by pipeline phase."},
+		{Name: "phase_messages_total", Type: "counter", Help: "Messages sent, by pipeline phase."},
+		{Name: "phase_completions_total", Type: "counter", Help: "Pipeline stage completions, by phase."},
+		{Name: "phase_billed_rounds_total", Type: "counter", Help: "Rounds billed by completed stages (gossip-backed phases may bill less than they execute)."},
+		{Name: "phase_billed_messages_total", Type: "counter", Help: "Messages billed by completed stages."},
+		{Name: "phase_round_messages_max", Type: "gauge", Help: "Largest single-round message count observed, by phase."},
+		{Name: "phase_round_messages", Type: "histogram", Help: "Per-round message counts, log-bucketed by powers of two."},
+	}
+	for _, p := range s.Phases {
+		l := labels(p.Name)
+		fams[0].Samples = append(fams[0].Samples, MetricSample{Labels: l, Value: float64(p.Rounds)})
+		fams[1].Samples = append(fams[1].Samples, MetricSample{Labels: l, Value: float64(p.Messages)})
+		fams[2].Samples = append(fams[2].Samples, MetricSample{Labels: l, Value: float64(p.Completions)})
+		fams[3].Samples = append(fams[3].Samples, MetricSample{Labels: l, Value: float64(p.BilledRounds)})
+		fams[4].Samples = append(fams[4].Samples, MetricSample{Labels: l, Value: float64(p.BilledMessages)})
+		fams[5].Samples = append(fams[5].Samples, MetricSample{Labels: l, Value: float64(p.MaxRoundMessages)})
+		var cum uint64
+		for _, b := range p.Histogram {
+			cum += b.Count
+			le := append(append([]MetricLabel(nil), l...), MetricLabel{Name: "le", Value: formatLE(b.Hi - 1)})
+			fams[6].Samples = append(fams[6].Samples, MetricSample{Suffix: "_bucket", Labels: le, Value: float64(cum)})
+		}
+		inf := append(append([]MetricLabel(nil), l...), MetricLabel{Name: "le", Value: "+Inf"})
+		fams[6].Samples = append(fams[6].Samples,
+			MetricSample{Suffix: "_bucket", Labels: inf, Value: float64(p.Rounds)},
+			MetricSample{Suffix: "_sum", Labels: l, Value: float64(p.Messages)},
+			MetricSample{Suffix: "_count", Labels: l, Value: float64(p.Rounds)})
+	}
+	return fams
+}
+
+// formatLE renders a histogram bucket's inclusive upper bound.
+func formatLE(v int64) string {
+	return strconv.FormatInt(v, 10)
 }

@@ -26,6 +26,13 @@ type PhaseCost = simulate.PhaseCost
 //   - "gossip" — the push–pull gossip baseline;
 //   - "globalcast" — globalcompute's wave/tree/convergecast protocol.
 //
+// These names are load-bearing beyond logging: they are the values of the
+// "phase" label in the Prometheus-style exposition that
+// MetricsSnapshot.MetricFamilies derives from a MetricsSink (served by
+// cmd/serve at GET /v1/metrics), and "sampler(cached)" on a result's phase
+// list is how serving layers detect a stage-1 spanner cache hit. Renaming a
+// phase is therefore a breaking change for metrics consumers.
+//
 // PhaseCompleted fires when a whole pipeline stage finishes, with its cost.
 // RoundCompleted streams regardless of WithRoundLedger: with the ledger
 // disabled, observers are the only per-round record a run leaves, and the

@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/local"
@@ -34,6 +35,11 @@ type Options struct {
 	// runs) override it internally; the gossip scheme uses it as its round
 	// budget (0 means 100·n, matching the historical driver default).
 	MaxRounds int
+	// Deadline is the wall-clock twin of MaxRounds: a positive duration
+	// bounds how long one run may execute before it is cancelled and fails
+	// with the typed ErrDeadline. Zero (the default, unless WithDeadline was
+	// given) means no wall-clock bound.
+	Deadline time.Duration
 	// LogNSlack multiplies the true log2(n) handed to nodes, modeling the
 	// O(1)-approximate upper bound on log n. Zero means exact.
 	LogNSlack float64
@@ -82,6 +88,10 @@ type Options struct {
 	// reject explicit sub-word budgets while the unset zero still means
 	// "auto".
 	bandwidthSet bool
+	// deadlineSet records that WithDeadline was given, so validation can
+	// reject nonsense non-positive budgets while the unset zero still means
+	// "no deadline".
+	deadlineSet bool
 }
 
 // Option mutates Options; pass them to NewEngine.
@@ -106,6 +116,20 @@ func WithConcurrency(n int) Option { return func(o *Options) { o.Concurrency = n
 // 100·n, matching the historical driver default), and self-halting
 // protocols inherit it as their MaxRounds bound.
 func WithMaxRounds(r int) Option { return func(o *Options) { o.MaxRounds = r } }
+
+// WithDeadline sets the engine's wall-clock budget per run — the duration
+// twin of WithMaxRounds. A run still executing when the budget expires is
+// cancelled through the same context plumbing every scheme's round loop
+// already honors (both engines abort within one node step's work) and fails
+// with the typed ErrDeadline, which also matches context.DeadlineExceeded
+// under errors.Is. The budget must be positive; it covers one RunScheme
+// call end to end — sampler construction, simulated stages, collection,
+// and replays — so a run that misses the deadline on a cold spanner cache
+// may meet it once the cached stage-1 artifact is amortized away, exactly
+// as with the round budget.
+func WithDeadline(d time.Duration) Option {
+	return func(o *Options) { o.Deadline, o.deadlineSet = d, true }
+}
 
 // WithBandwidth caps the words one directed edge may carry per round in the
 // CONGEST-budgeted scheme ("scheme1-congest"). The cap must be at least one
@@ -289,6 +313,9 @@ func (o *Options) validate() error {
 	}
 	if o.MaxRounds < 0 {
 		return fmt.Errorf("negative MaxRounds %d", o.MaxRounds)
+	}
+	if o.deadlineSet && o.Deadline <= 0 {
+		return fmt.Errorf("non-positive Deadline %v (use WithDeadline)", o.Deadline)
 	}
 	if o.SpannerK == 0 && o.Gamma < 1 {
 		return fmt.Errorf("gamma %d < 1 (use WithGamma or WithSpannerParams)", o.Gamma)

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/graph/gen"
@@ -37,6 +38,8 @@ func TestSchemeValidationMatrix(t *testing.T) {
 		{"hybridfraction-above-1", repro.WithHybridFraction(1.01)},
 		{"cachesize-negative", repro.WithCacheSize(-1)},
 		{"lognslack-below-1", repro.WithLogNSlack(0.5)},
+		{"deadline0", repro.WithDeadline(0)},
+		{"deadline-negative", repro.WithDeadline(-time.Second)},
 	}
 	for _, tc := range bad {
 		for _, s := range repro.Schemes() {
@@ -81,6 +84,105 @@ func TestRoundBudgetGuard(t *testing.T) {
 		if _, err := eng.RunScheme(context.Background(), s, g, spec); err != nil {
 			t.Fatalf("scheme %s failed under a generous budget: %v", s.Name(), err)
 		}
+	}
+}
+
+// TestDeadlineBudget is the registry-wide table for WithDeadline, the
+// wall-clock twin of WithMaxRounds: under a deadline that has effectively
+// already expired, every registered scheme must abort through the shared ctx
+// plumbing and fail with the typed ErrDeadline (which also matches
+// context.DeadlineExceeded); under a generous deadline, every scheme must
+// complete untouched.
+func TestDeadlineBudget(t *testing.T) {
+	g := testGraph()
+	spec := repro.MaxID(3)
+	for _, s := range repro.Schemes() {
+		t.Run(s.Name(), func(t *testing.T) {
+			eng := repro.NewEngine(repro.WithSeed(3), repro.WithDeadline(time.Nanosecond))
+			_, err := eng.RunScheme(context.Background(), s, g, spec)
+			if err == nil {
+				t.Fatalf("scheme %s completed within a 1ns wall-clock budget", s.Name())
+			}
+			if !errors.Is(err, repro.ErrDeadline) {
+				t.Fatalf("scheme %s failed with %v, want ErrDeadline", s.Name(), err)
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("scheme %s: ErrDeadline chain lost context.DeadlineExceeded: %v", s.Name(), err)
+			}
+		})
+	}
+	// A generous budget must not interfere, and a parent context's own
+	// earlier deadline must keep its plain error rather than be rebranded
+	// as the engine's budget.
+	eng := repro.NewEngine(repro.WithSeed(3), repro.WithDeadline(time.Hour))
+	for _, s := range repro.Schemes() {
+		if _, err := eng.RunScheme(context.Background(), s, g, spec); err != nil {
+			t.Fatalf("scheme %s failed under a generous deadline: %v", s.Name(), err)
+		}
+	}
+}
+
+// TestRunWithOverrides pins the per-run override layer the serving facade
+// rides on: one engine, per-run budgets and observers, no cross-run bleed —
+// and a spanner cached by one override set is visible to the next run at the
+// same key.
+func TestRunWithOverrides(t *testing.T) {
+	g := testGraph()
+	spec := repro.MaxID(3)
+	eng := repro.NewEngine(repro.WithSeed(3))
+
+	// Per-run round budget: the override must fail this run only.
+	if _, err := eng.RunWith(context.Background(), "scheme1", g, spec, repro.WithMaxRounds(2)); !errors.Is(err, repro.ErrRoundBudget) {
+		t.Fatalf("override WithMaxRounds(2): got %v, want ErrRoundBudget", err)
+	}
+	// The engine's own configuration is untouched: the same run without the
+	// override succeeds, and warms the cache for the key (seed 3, gamma 1).
+	if _, err := eng.RunWith(context.Background(), "scheme1", g, spec); err != nil {
+		t.Fatalf("post-override run failed: %v", err)
+	}
+
+	// A per-run observer sees this run; the cached stage-1 spanner from the
+	// previous run is reused (zero-cost "sampler(cached)" phase).
+	var phases []string
+	res, err := eng.RunWith(context.Background(), "scheme1", g, spec,
+		repro.WithObserver(repro.ObserverFuncs{
+			OnPhase: func(c repro.PhaseCost) { phases = append(phases, c.Name) },
+		}))
+	if err != nil {
+		t.Fatalf("observed run failed: %v", err)
+	}
+	cached := false
+	for _, name := range phases {
+		if name == "sampler(cached)" {
+			cached = true
+		}
+	}
+	if !cached {
+		t.Fatalf("override run did not reuse the engine cache; phases %v", phases)
+	}
+	for _, ph := range res.Phases {
+		if ph.Name == "sampler" {
+			t.Fatalf("override run rebuilt the spanner: %+v", res.Phases)
+		}
+	}
+
+	// A per-run seed override lands on a different cache key: fresh build.
+	var phases2 []string
+	if _, err := eng.RunWith(context.Background(), "scheme1", g, spec,
+		repro.WithSeed(77),
+		repro.WithObserver(repro.ObserverFuncs{
+			OnPhase: func(c repro.PhaseCost) { phases2 = append(phases2, c.Name) },
+		})); err != nil {
+		t.Fatalf("seed-override run failed: %v", err)
+	}
+	fresh := false
+	for _, name := range phases2 {
+		if name == "sampler" {
+			fresh = true
+		}
+	}
+	if !fresh {
+		t.Fatalf("seed override did not move the cache key; phases %v", phases2)
 	}
 }
 
