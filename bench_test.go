@@ -92,7 +92,7 @@ func BenchmarkSchemesAmortized(b *testing.B) {
 	spec := repro.MaxID(3)
 	for _, s := range repro.Schemes() {
 		name := s.Name()
-		if name == "direct" || name == "gossip" {
+		if name == "direct" || name == "gossip" || name == "gossip-earlystop" || name == "gossip-converge" {
 			continue // no stage-1 construction to amortize
 		}
 		for _, mode := range []string{"cold", "warm"} {
@@ -203,7 +203,7 @@ func BenchmarkLocalEngineConcurrent(b *testing.B) {
 }
 
 // The engine benchmarks always report allocations: they are the perf
-// trajectory's hot-path series (BENCH_5.json) and the subject of CI's
+// trajectory's hot-path series (BENCH_7.json) and the subject of CI's
 // allocation-regression gate (cmd/bench -ceiling).
 func benchLocalEngine(b *testing.B, concurrent bool) {
 	b.Helper()

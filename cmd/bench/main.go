@@ -4,7 +4,7 @@
 // line into {name, iterations, metrics} (ns/op, B/op, allocs/op, plus any
 // custom metrics like msgs/op or ledgerB/op), and writes them as JSON.
 //
-// The committed baseline lives at BENCH_5.json (regenerate with
+// The committed baseline lives at BENCH_7.json (regenerate with
 // `go run ./cmd/bench`); CI runs the same entry point on every commit and
 // archives the JSON, so any two commits' perf can be diffed structurally.
 //
@@ -76,7 +76,7 @@ func main() {
 	steadyBench := flag.String("steadybench", "BenchmarkBusyRound", "steady-state benchmark regex (empty disables the pass)")
 	steadyTime := flag.String("steadytime", "20000x", "benchtime for the steady-state pass (long enough to amortize setup to 0 allocs/op)")
 	steadyPkg := flag.String("steadypkg", "./internal/local", "package for the steady-state pass")
-	out := flag.String("out", "BENCH_5.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "BENCH_7.json", "output JSON path (- for stdout)")
 	raw := flag.String("raw", "", "optionally also write the raw go test output to this path")
 	ceiling := flag.String("ceiling", "", "allocation gate: comma-separated name=maxAllocsPerOp pairs; exit non-zero when exceeded")
 	diffOld := flag.String("diff", "", "diff mode: compare this baseline snapshot against the snapshot named by the positional arg (`bench -diff old.json new.json`) instead of running benchmarks; exit non-zero on regression")

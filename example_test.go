@@ -113,6 +113,8 @@ func ExampleSchemes() {
 	// direct
 	// globalcompute
 	// gossip
+	// gossip-converge
+	// gossip-earlystop
 	// hybrid
 	// scheme1
 	// scheme1-congest

@@ -22,8 +22,13 @@
 //     "hybrid" (gossip seeds WithHybridFraction of the t-balls, the
 //     Sampler spanner collects the residue), "globalcompute" (the paper's
 //     Section 7 extension: a spanner BFS tree convergecasts all knowledge),
-//     and "gossip" (the push–pull baseline family). Every scheme
-//     produces outputs bit-identical to "direct" at the same seed.
+//     and the push–pull baseline family: "gossip" (the fixed 100·n-round
+//     schedule), "gossip-earlystop" (a central oracle halts the loop at the
+//     cover round — same bill, a fraction of the wall clock), and
+//     "gossip-converge" (distributed termination detection via a BFS-tree
+//     convergecast, billed as its own phase on top of the gossip bill).
+//     Every scheme produces outputs bit-identical to "direct" at the same
+//     seed.
 //
 //   - An Engine holds one validated configuration, built from functional
 //     options (WithSeed, WithConcurrency, WithGamma, WithStageK,

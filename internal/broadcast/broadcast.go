@@ -15,6 +15,7 @@ package broadcast
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/local"
@@ -149,7 +150,7 @@ func FloodFrom(ctx context.Context, host *graph.Graph, payloads []any, seeds []b
 		return nil, fmt.Errorf("broadcast: negative round budget")
 	}
 	nodes := make([]*floodNode, host.NumNodes())
-	cfg.MaxRounds = rounds + 1
+	rounds = clampSchedule(&cfg, rounds)
 	run, err := local.RunCtx(ctx, host, func(v graph.NodeID) local.Protocol {
 		nd := &floodNode{t: rounds, self: payloads[v], seed: seeds == nil || seeds[v]}
 		nodes[v] = nd
@@ -166,6 +167,65 @@ func FloodFrom(ctx context.Context, host *graph.Graph, payloads []any, seeds []b
 	return res, nil
 }
 
+// clampSchedule reconciles a caller-provided round budget (cfg.MaxRounds)
+// with a broadcast protocol's own schedule length: the effective schedule is
+// the smaller of the two, and the engine bound is set to schedule+1 — the
+// final round, in which nodes process their last inbox and halt without
+// sending, rides on top of the schedule. This makes the interaction between
+// the engine-level budget and the broadcast-internal schedule explicit
+// (historically the protocols silently overwrote the caller's budget).
+// Returns the effective schedule length.
+func clampSchedule(cfg *local.Config, schedule int) int {
+	if cfg.MaxRounds > 0 && cfg.MaxRounds < schedule {
+		schedule = cfg.MaxRounds
+	}
+	cfg.MaxRounds = schedule + 1
+	return schedule
+}
+
+// arrivalTracker centrally aggregates first-arrival events from all gossip
+// nodes as they happen. The plain arrival counter lets a ledgerless run
+// detect arrival rounds in O(1) per round (instead of scanning all n nodes'
+// flags after every round); with a BallIndex attached it additionally
+// maintains, per node, how many of that node's distance-t ball members are
+// still unheard, and counts the nodes whose balls are complete — the
+// early-stop condition checked after each round's barrier.
+//
+// Race discipline: arrivals and covered are atomics; left[v] is written only
+// from node v's Step (each node is stepped by exactly one goroutine per
+// round), and the coordinating goroutine reads the atomics only after the
+// round's barrier.
+type arrivalTracker struct {
+	arrivals atomic.Int64
+	covered  atomic.Int64
+	ball     *BallIndex
+	left     []int
+}
+
+func newArrivalTracker(n int, bi *BallIndex) *arrivalTracker {
+	tr := &arrivalTracker{ball: bi}
+	if bi != nil {
+		tr.left = make([]int, n)
+		for v := range tr.left {
+			tr.left[v] = bi.Size(graph.NodeID(v))
+		}
+	}
+	return tr
+}
+
+// learn records that node v first heard origin u (including its own rumor at
+// round 0).
+func (tr *arrivalTracker) learn(v, u graph.NodeID) {
+	tr.arrivals.Add(1)
+	if tr.ball == nil || !tr.ball.Contains(v, u) {
+		return
+	}
+	tr.left[v]--
+	if tr.left[v] == 0 {
+		tr.covered.Add(1)
+	}
+}
+
 // gossipNode implements synchronous push–pull gossip: each round it pushes
 // its full rumor set over one uniformly random incident edge and answers
 // last round's pushes with its full set. The rumor snapshot and the
@@ -177,17 +237,12 @@ func FloodFrom(ctx context.Context, host *graph.Graph, payloads []any, seeds []b
 // snapshot buffer) grows.
 type gossipNode struct {
 	t       int
+	track   *arrivalTracker
 	known   map[graph.NodeID]any
 	arrival map[graph.NodeID]int
 	replyTo []graph.EdgeID
 	push    [2]gossipPush
 	pull    [2]gossipPull
-	// heardNew is set whenever the node records a previously unknown
-	// origin and cleared by the harness after each round; it lets a
-	// ledgerless run detect arrival rounds centrally without retaining
-	// per-round state. Each node only ever writes its own flag, so the
-	// field is race-free even on the concurrent engine.
-	heardNew bool
 }
 
 type gossipPush struct{ Rumors []rumor }
@@ -197,7 +252,7 @@ func (p *gossipNode) Step(env *local.Env, round int, inbox []local.Message) {
 	if round == 0 {
 		p.known = map[graph.NodeID]any{env.ID(): nil} // payload patched by harness
 		p.arrival = map[graph.NodeID]int{env.ID(): 0}
-		p.heardNew = true
+		p.track.learn(env.ID(), env.ID())
 	}
 	for _, m := range inbox {
 		var rumors []rumor
@@ -212,7 +267,7 @@ func (p *gossipNode) Step(env *local.Env, round int, inbox []local.Message) {
 			if _, ok := p.known[r.Origin]; !ok {
 				p.known[r.Origin] = r.Payload
 				p.arrival[r.Origin] = round
-				p.heardNew = true
+				p.track.learn(env.ID(), r.Origin)
 			}
 		}
 	}
@@ -254,34 +309,82 @@ func (p *gossipNode) snapshot(parity int) []rumor {
 // achieved). Message complexity is at most 2n per round by construction.
 // Cancelling ctx aborts the underlying run.
 func Gossip(ctx context.Context, host *graph.Graph, payloads []any, rounds int, cfg local.Config) (*Result, error) {
+	res, _, err := gossipRun(ctx, host, payloads, rounds, cfg, nil, 0)
+	return res, err
+}
+
+// GossipUntilCover is Gossip with central early stopping: the run executes
+// the same schedule as Gossip(rounds) but ends the round loop the moment
+// every node has heard the rumor of every member of its distance-t ball (per
+// bi). The executed prefix is bit-identical to the full schedule's — per-node
+// RNG streams depend only on (seed, id), and the stop check runs after the
+// round's barrier — so arrivals, per-round bills, and MessagesThrough answers
+// through the stop round all match Gossip's. The second return value is the
+// cover round (equal to CoverRound on the full run), or -1 if the schedule
+// ended before coverage.
+func GossipUntilCover(ctx context.Context, host *graph.Graph, payloads []any, bi *BallIndex, rounds int, cfg local.Config) (*Result, int, error) {
+	if bi == nil {
+		return nil, 0, fmt.Errorf("broadcast: GossipUntilCover needs a ball index")
+	}
+	return gossipRun(ctx, host, payloads, rounds, cfg, bi, host.NumNodes())
+}
+
+// GossipUntilCovered is GossipUntilCover's fractional form: it stops as soon
+// as at least target nodes hold their complete distance-t ball, returning
+// the earliest round at which that held (-1 if never within the schedule).
+// The hybrid scheme uses it to find its seeding deadline without simulating
+// the schedule's dead tail.
+func GossipUntilCovered(ctx context.Context, host *graph.Graph, payloads []any, bi *BallIndex, target, rounds int, cfg local.Config) (*Result, int, error) {
+	if bi == nil {
+		return nil, 0, fmt.Errorf("broadcast: GossipUntilCovered needs a ball index")
+	}
+	if target < 0 || target > host.NumNodes() {
+		return nil, 0, fmt.Errorf("broadcast: cover target %d outside [0,%d]", target, host.NumNodes())
+	}
+	return gossipRun(ctx, host, payloads, rounds, cfg, bi, target)
+}
+
+// gossipRun is the shared gossip harness. With bi nil it runs the plain
+// fixed schedule; with bi set it installs a StopWhen hook that ends the run
+// at the first round after which at least target nodes' balls are complete,
+// and returns that round (-1 if the schedule ended first).
+func gossipRun(ctx context.Context, host *graph.Graph, payloads []any, rounds int, cfg local.Config, bi *BallIndex, target int) (*Result, int, error) {
 	if host == nil {
-		return nil, fmt.Errorf("broadcast: nil host graph")
+		return nil, 0, fmt.Errorf("broadcast: nil host graph")
 	}
 	if len(payloads) != host.NumNodes() {
-		return nil, fmt.Errorf("broadcast: %d payloads for %d nodes", len(payloads), host.NumNodes())
+		return nil, 0, fmt.Errorf("broadcast: %d payloads for %d nodes", len(payloads), host.NumNodes())
+	}
+	if bi != nil && bi.Nodes() != host.NumNodes() {
+		return nil, 0, fmt.Errorf("broadcast: ball index spans %d nodes, host has %d", bi.Nodes(), host.NumNodes())
 	}
 	nodes := make([]*gossipNode, host.NumNodes())
-	cfg.MaxRounds = rounds + 1
+	rounds = clampSchedule(&cfg, rounds)
+	track := newArrivalTracker(host.NumNodes(), bi)
+	stop := -1
+	if bi != nil {
+		cfg.StopWhen = func(r int, _ int64) bool {
+			if track.covered.Load() >= int64(target) {
+				stop = r
+				return true
+			}
+			return false
+		}
+	}
 	// With the per-round ledger disabled, record cumulative message counts
-	// at arrival rounds so cover-round billing (MessagesThrough) stays
-	// exact at O(1) memory in executed rounds. The callback runs on the
-	// run's coordinating goroutine after each round's barrier, so reading
-	// and clearing the nodes' heardNew flags is race-free.
+	// at arrival rounds so cover-round billing (MessagesThrough) stays exact
+	// at O(1) memory in executed rounds. The tracker's arrival counter makes
+	// the per-round check O(1): a round recorded an arrival iff the counter
+	// moved since the previous barrier.
 	var cumAt map[int]int64
 	if cfg.NoLedger {
 		cumAt = make(map[int]int64)
 		inner := cfg.OnRound
-		var cum int64
+		var cum, lastArrivals int64
 		cfg.OnRound = func(r int, m int64) {
 			cum += m
-			arrived := false
-			for _, nd := range nodes {
-				if nd.heardNew {
-					nd.heardNew = false
-					arrived = true
-				}
-			}
-			if arrived {
+			if a := track.arrivals.Load(); a != lastArrivals {
+				lastArrivals = a
 				cumAt[r] = cum
 			}
 			if inner != nil {
@@ -290,12 +393,12 @@ func Gossip(ctx context.Context, host *graph.Graph, payloads []any, rounds int, 
 		}
 	}
 	run, err := local.RunCtx(ctx, host, func(v graph.NodeID) local.Protocol {
-		nd := &gossipNode{t: rounds}
+		nd := &gossipNode{t: rounds, track: track}
 		nodes[v] = nd
 		return nd
 	}, cfg)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	res := &Result{Run: run, cumAt: cumAt}
 	for _, nd := range nodes {
@@ -306,7 +409,7 @@ func Gossip(ctx context.Context, host *graph.Graph, payloads []any, rounds int, 
 		res.Known = append(res.Known, nd.known)
 		res.Arrival = append(res.Arrival, nd.arrival)
 	}
-	return res, nil
+	return res, stop, nil
 }
 
 // CoverRound returns the earliest round by which every node had heard the
@@ -330,12 +433,63 @@ func CoverRound(g *graph.Graph, arrival []map[graph.NodeID]int, t int) int {
 // heard the rumor of every node in its distance-t ball of g (-1 if the run
 // ended before that). It is the per-node refinement of CoverRound: the hybrid
 // scheme uses it to find the round at which a target fraction of nodes is
-// covered.
+// covered. Callers querying the same (graph, t) repeatedly should build a
+// BallIndex once and use its CoverRounds method — this wrapper rebuilds the
+// ball membership on every call.
 func CoverRounds(g *graph.Graph, arrival []map[graph.NodeID]int, t int) []int {
-	out := make([]int, g.NumNodes())
+	return NewBallIndex(g, t).CoverRounds(arrival)
+}
+
+// BallIndex is the per-node distance-t ball membership of one graph,
+// computed once (one truncated BFS per node) and reused across every query
+// that needs it: CoverRounds calls, the gossip early-stop tracker's
+// per-arrival checks, and hybrid's residue scan. Historically each
+// CoverRounds call re-ran all n BFS traversals; hybrid's geometric retry
+// loop multiplied that by every budget doubling. A BallIndex is immutable
+// once built and safe for concurrent readers.
+type BallIndex struct {
+	t    int
+	sets []map[graph.NodeID]bool
+}
+
+// NewBallIndex computes the distance-t ball of every node of g.
+func NewBallIndex(g *graph.Graph, t int) *BallIndex {
+	bi := &BallIndex{t: t, sets: make([]map[graph.NodeID]bool, g.NumNodes())}
 	for v := 0; v < g.NumNodes(); v++ {
+		ball := g.Ball(graph.NodeID(v), t)
+		m := make(map[graph.NodeID]bool, len(ball))
+		for _, u := range ball {
+			m[u] = true
+		}
+		bi.sets[v] = m
+	}
+	return bi
+}
+
+// T returns the ball radius the index was built for.
+func (bi *BallIndex) T() int { return bi.t }
+
+// Nodes returns the number of nodes the index spans.
+func (bi *BallIndex) Nodes() int { return len(bi.sets) }
+
+// Size returns |B_{G,t}(v)|.
+func (bi *BallIndex) Size(v graph.NodeID) int { return len(bi.sets[v]) }
+
+// Contains reports whether u lies within distance t of v.
+func (bi *BallIndex) Contains(v, u graph.NodeID) bool { return bi.sets[v][u] }
+
+// Members returns v's ball membership set. The map is owned by the index
+// and must not be mutated.
+func (bi *BallIndex) Members(v graph.NodeID) map[graph.NodeID]bool { return bi.sets[v] }
+
+// CoverRounds is CoverRounds against the prebuilt index: per node, the
+// earliest round by which every ball member's rumor had arrived (-1 if the
+// run ended before that). Beyond the one output slice it allocates nothing.
+func (bi *BallIndex) CoverRounds(arrival []map[graph.NodeID]int) []int {
+	out := make([]int, len(bi.sets))
+	for v := range bi.sets {
 		worst := 0
-		for _, u := range g.Ball(graph.NodeID(v), t) {
+		for u := range bi.sets[v] {
 			r, ok := arrival[v][u]
 			if !ok {
 				worst = -1

@@ -274,6 +274,33 @@ func Converge(ctx context.Context, host *graph.Graph, inputs []any, merge Merge,
 	return out, res, nil
 }
 
+// DetectTermination is distributed termination detection over host's BFS
+// tree, the reusable primitive behind the "gossip-converge" scheme: every
+// node starts with a local completion predicate done[v], the min-ID wave
+// elects a root and builds the tree, the predicates are convergecast up
+// under logical AND, and the root broadcasts the verdict back down — the
+// "halt" wave when it is true. The returned verdict is the unanimous AND
+// (all nodes learn the same value by construction); Result carries the
+// detection pass's full round and message bill, which callers should account
+// as its own phase — knowing you are done is not free, and this is its
+// price. waveRounds must upper-bound host's diameter; each control message
+// carries O(1) words.
+func DetectTermination(ctx context.Context, host *graph.Graph, done []bool, waveRounds int, cfg local.Config) (bool, local.Result, error) {
+	if len(done) != host.NumNodes() {
+		return false, local.Result{}, fmt.Errorf("globalcompute: %d predicates for %d nodes", len(done), host.NumNodes())
+	}
+	inputs := make([]any, len(done))
+	for i, d := range done {
+		inputs[i] = d
+	}
+	and := func(a, b any) any { return a.(bool) && b.(bool) }
+	vals, res, err := Converge(ctx, host, inputs, and, waveRounds, cfg)
+	if err != nil {
+		return false, res, err
+	}
+	return vals[0].(bool), res, nil
+}
+
 // run is Converge specialized back to the paper's int64 aggregation.
 func run(ctx context.Context, host *graph.Graph, inputs []int64, agg Aggregator, waveRounds int, cfg local.Config) ([]int64, local.Result, error) {
 	boxed := make([]any, len(inputs))

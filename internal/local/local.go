@@ -133,6 +133,16 @@ type Config struct {
 	// memory in executed rounds by streaming rounds through OnRound (e.g.
 	// into the facade's MetricsSink) instead of retaining the slice.
 	NoLedger bool
+	// StopWhen, if non-nil, is consulted after every completed round (after
+	// OnRound) with the round index and its message count; returning true
+	// ends the run before the next round starts. The round it fires on has
+	// executed in full — all sends delivered, ledger and OnRound already fed
+	// — so a stopped run's executed prefix is bit-identical to the same
+	// schedule without the hook. It runs on the engine's coordinating
+	// goroutine, after the round's barrier, and must not call back into the
+	// run. Protocols that centrally detect a completion condition (e.g.
+	// broadcast coverage) use it to skip a fixed schedule's dead tail.
+	StopWhen func(round int, messages int64) bool
 }
 
 // DefaultMaxRounds bounds runaway protocols.
@@ -432,6 +442,9 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 		res.Rounds++
 		if cfg.OnRound != nil {
 			cfg.OnRound(round, sent)
+		}
+		if cfg.StopWhen != nil && cfg.StopWhen(round, sent) {
+			break
 		}
 	}
 	res.Halted = true

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/algorithms"
 	"repro/internal/broadcast"
@@ -402,43 +401,28 @@ func HybridSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core
 
 	// Find the seeding deadline — the earliest round by which the target
 	// fraction of nodes holds its complete t-ball — without simulating the
-	// full gossipBudget schedule (the default is 100·n rounds; the fraction
-	// is typically covered in O(polylog n)). Gossip's per-round behaviour at
-	// a fixed seed is independent of its schedule length for every round
-	// below the halt round, and arrivals recorded by round b match the
-	// full-schedule run's, so a geometrically growing schedule that accepts
-	// only deadlines strictly below its own halt round finds exactly the
-	// deadline, arrivals, and per-round message bill the full schedule
-	// would, at a fraction of the simulation cost.
-	var (
-		gos       *broadcast.Result
-		seedRound = -1
-	)
-	for budget := min(32, gossipBudget); ; budget = min(budget*2, gossipBudget) {
-		gcfg := cfg
-		gcfg.Seed = seed
-		var err error
-		gos, err = broadcast.Gossip(ctx, g, ports, budget, hooks.RoundConfig(gcfg, "gossip(seed)"))
-		if err != nil {
-			return nil, fmt.Errorf("hybrid gossip stage: %w", err)
-		}
-		covered := make([]int, 0, n)
-		for _, r := range broadcast.CoverRounds(g, gos.Arrival, spec.T) {
+	// schedule's dead tail (the default budget is 100·n rounds; the fraction
+	// is typically covered in O(polylog n)). The early-stopped run's executed
+	// prefix is bit-identical to the full schedule's, so the deadline,
+	// arrivals, and per-round message bill match what the full schedule
+	// would have produced. The ball index is built once and shared by the
+	// per-arrival cover tracking and the residue scan below.
+	bi := broadcast.NewBallIndex(g, spec.T)
+	gcfg := cfg
+	gcfg.Seed = seed
+	gos, seedRound, err := broadcast.GossipUntilCovered(ctx, g, ports, bi, need, gossipBudget, hooks.RoundConfig(gcfg, "gossip(seed)"))
+	if err != nil {
+		return nil, fmt.Errorf("hybrid gossip stage: %w", err)
+	}
+	if seedRound < 0 {
+		covered := 0
+		for _, r := range bi.CoverRounds(gos.Arrival) {
 			if r >= 0 {
-				covered = append(covered, r)
+				covered++
 			}
 		}
-		if len(covered) >= need {
-			sort.Ints(covered)
-			if r := covered[need-1]; r < budget || budget == gossipBudget {
-				seedRound = r
-				break
-			}
-		}
-		if budget == gossipBudget {
-			return nil, fmt.Errorf("hybrid gossip stage covered %d of the %d required t-balls within %d rounds: %w",
-				len(covered), need, gossipBudget, ErrRoundBudget)
-		}
+		return nil, fmt.Errorf("hybrid gossip stage covered %d of the %d required t-balls within %d rounds: %w",
+			covered, need, gossipBudget, ErrRoundBudget)
 	}
 	seedMsgs, err := gos.MessagesThrough(seedRound)
 	if err != nil {
@@ -455,7 +439,7 @@ func HybridSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core
 	// seeding deadline (central bookkeeping, like broadcast.CoverRound).
 	residue := make([]bool, n)
 	for v := 0; v < n; v++ {
-		for _, u := range g.Ball(graph.NodeID(v), spec.T) {
+		for u := range bi.Members(graph.NodeID(v)) {
 			if r, ok := gos.Arrival[v][u]; !ok || r > seedRound {
 				residue[u] = true
 			}

@@ -112,6 +112,29 @@ func GossipCollect(ctx context.Context, g *graph.Graph, t, maxRounds int, seed u
 	return collectionFrom(g, gos.Known, seed, gos.Run), cover, msgs, nil
 }
 
+// GossipCollectEarly is GossipCollect with central early stopping: the same
+// schedule, seed, and per-round behaviour, but the round loop ends the
+// moment every node's distance-t ball is covered. The cover round and the
+// message bill through it are bit-identical to GossipCollect's (the executed
+// prefix is the same execution); only the schedule's dead tail — and its
+// wall clock — disappears. The collection holds exactly the knowledge
+// gossip had delivered by the cover round, which suffices for every replay.
+func GossipCollectEarly(ctx context.Context, g *graph.Graph, t, maxRounds int, seed uint64, cfg local.Config) (*Collection, int, int64, error) {
+	cfg.Seed = seed
+	bi := broadcast.NewBallIndex(g, t)
+	gos, cover, err := broadcast.GossipUntilCover(ctx, g, portsOf(g), bi, maxRounds, cfg)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var msgs int64
+	if cover >= 0 {
+		if msgs, err = gos.MessagesThrough(cover); err != nil {
+			return nil, 0, 0, fmt.Errorf("simulate: gossip cover billing: %w", err)
+		}
+	}
+	return collectionFrom(g, gos.Known, seed, gos.Run), cover, msgs, nil
+}
+
 func collectionFrom(g *graph.Graph, known []map[graph.NodeID]any, seed uint64, run local.Result) *Collection {
 	coll := &Collection{N: g.NumNodes(), Seed: seed, Run: run}
 	coll.Ports = make([]map[graph.NodeID][]graph.EdgeID, len(known))

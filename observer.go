@@ -23,7 +23,12 @@ type PhaseCost = simulate.PhaseCost
 //     scheme1-congest, including its zero-message filler rounds;
 //   - "collect(residue)" — the hybrid scheme's residue flood;
 //   - "gossip(seed)" — the hybrid scheme's gossip seeding stage;
-//   - "gossip" — the push–pull gossip baseline;
+//   - "gossip" — the push–pull gossip baseline (its fixed schedule, or the
+//     early-stopped prefix under WithEarlyStop — same label either way);
+//   - "gossip(earlystop)" — the gossip-earlystop and gossip-converge
+//     variants' early-stopped gossip stage;
+//   - "converge(halt)" — gossip-converge's distributed termination
+//     detection pass (wave, convergecast-AND, broadcast halt);
 //   - "globalcast" — globalcompute's wave/tree/convergecast protocol.
 //
 // These names are load-bearing beyond logging: they are the values of the

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/globalcompute"
 	"repro/internal/simulate"
 )
 
@@ -180,10 +181,24 @@ func init() {
 		name: "gossip",
 		desc: "push–pull gossip collection baseline (Censor-Hillel et al.; Haeupler)",
 		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
+			return runGossip(ctx, g, spec, o, "gossip", "gossip", o.EarlyStop)
+		},
+	})
+	mustRegister(&schemeFunc{
+		name: "gossip-earlystop",
+		desc: "gossip with central early stop: halts at the cover round, same bill, a fraction of the wall clock",
+		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
+			return runGossip(ctx, g, spec, o, "gossip-earlystop", "gossip(earlystop)", true)
+		},
+	})
+	mustRegister(&schemeFunc{
+		name: "gossip-converge",
+		desc: "early-stopped gossip + distributed termination detection (BFS-tree convergecast), detection billed as its own phase",
+		run: func(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options) (*SimulationResult, error) {
 			budget := o.gossipBudget(g.NumNodes())
 			hooks := o.hooks()
-			coll, cover, msgs, err := simulate.GossipCollect(ctx, g, spec.T, budget, o.Seed,
-				hooks.RoundConfig(o.localConfig(), "gossip"))
+			coll, cover, msgs, err := simulate.GossipCollectEarly(ctx, g, spec.T, budget, o.Seed,
+				hooks.RoundConfig(o.localConfig(), "gossip(earlystop)"))
 			if err != nil {
 				return nil, err
 			}
@@ -191,18 +206,39 @@ func init() {
 				return nil, fmt.Errorf("gossip did not cover the %d-balls within %d rounds (raise WithMaxRounds): %w",
 					spec.T, budget, ErrRoundBudget)
 			}
-			cost := PhaseCost{Name: "gossip", Rounds: cover, Messages: msgs}
-			hooks.PhaseDone(cost)
+			gossipCost := PhaseCost{Name: "gossip(earlystop)", Rounds: cover, Messages: msgs}
+			hooks.PhaseDone(gossipCost)
+			// The central stop check knew coverage was complete; distributed
+			// nodes do not. Bill what *knowing you're done* costs: at the
+			// stop round every node's local predicate ("my ball is covered")
+			// is true, and one wave → convergecast-AND → broadcast-halt pass
+			// over G's BFS tree carries the unanimous verdict to everyone.
+			done := make([]bool, g.NumNodes())
+			for v := range done {
+				done[v] = true
+			}
+			dcfg := o.localConfig()
+			dcfg.Seed = o.Seed
+			ok, drun, err := globalcompute.DetectTermination(ctx, g, done, g.Diameter(),
+				hooks.RoundConfig(dcfg, "converge(halt)"))
+			if err != nil {
+				return nil, fmt.Errorf("gossip-converge termination detection: %w", err)
+			}
+			if !ok {
+				return nil, fmt.Errorf("gossip-converge termination detection returned a false verdict from all-true predicates")
+			}
+			detectCost := PhaseCost{Name: "converge(halt)", Rounds: drun.Rounds, Messages: drun.Messages}
+			hooks.PhaseDone(detectCost)
 			outs, err := coll.ReplayAllN(ctx, spec, o.Concurrency)
 			if err != nil {
 				return nil, err
 			}
 			return &SimulationResult{
-				Scheme:   "gossip",
+				Scheme:   "gossip-converge",
 				Outputs:  outs,
-				Rounds:   cover,
-				Messages: msgs,
-				Phases:   []PhaseCost{cost},
+				Rounds:   cover + drun.Rounds,
+				Messages: msgs + drun.Messages,
+				Phases:   []PhaseCost{gossipCost, detectCost},
 			}, nil
 		},
 	})
@@ -241,6 +277,43 @@ func init() {
 			return replayResult(ctx, "globalcompute", res, spec, o)
 		},
 	})
+}
+
+// runGossip is the shared run body of the gossip family's central variants:
+// the plain fixed-schedule baseline ("gossip", optionally early-stopped via
+// WithEarlyStop) and the always-early-stopping "gossip-earlystop". Both bill
+// the cover round and the messages through it, so their results are
+// bit-identical; early stopping only skips the schedule's dead tail. The
+// phase label distinguishes the variants in observer streams and metrics.
+func runGossip(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options, scheme, phase string, early bool) (*SimulationResult, error) {
+	budget := o.gossipBudget(g.NumNodes())
+	hooks := o.hooks()
+	collect := simulate.GossipCollect
+	if early {
+		collect = simulate.GossipCollectEarly
+	}
+	coll, cover, msgs, err := collect(ctx, g, spec.T, budget, o.Seed,
+		hooks.RoundConfig(o.localConfig(), phase))
+	if err != nil {
+		return nil, err
+	}
+	if cover < 0 {
+		return nil, fmt.Errorf("gossip did not cover the %d-balls within %d rounds (raise WithMaxRounds): %w",
+			spec.T, budget, ErrRoundBudget)
+	}
+	cost := PhaseCost{Name: phase, Rounds: cover, Messages: msgs}
+	hooks.PhaseDone(cost)
+	outs, err := coll.ReplayAllN(ctx, spec, o.Concurrency)
+	if err != nil {
+		return nil, err
+	}
+	return &SimulationResult{
+		Scheme:   scheme,
+		Outputs:  outs,
+		Rounds:   cover,
+		Messages: msgs,
+		Phases:   []PhaseCost{cost},
+	}, nil
 }
 
 // replayResult recovers every node's output from a scheme's collection —
