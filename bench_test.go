@@ -203,7 +203,7 @@ func BenchmarkLocalEngineConcurrent(b *testing.B) {
 }
 
 // The engine benchmarks always report allocations: they are the perf
-// trajectory's hot-path series (BENCH_7.json) and the subject of CI's
+// trajectory's hot-path series (BENCH_8.json) and the subject of CI's
 // allocation-regression gate (cmd/bench -ceiling).
 func benchLocalEngine(b *testing.B, concurrent bool) {
 	b.Helper()

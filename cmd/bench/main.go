@@ -4,15 +4,23 @@
 // line into {name, iterations, metrics} (ns/op, B/op, allocs/op, plus any
 // custom metrics like msgs/op or ledgerB/op), and writes them as JSON.
 //
-// The committed baseline lives at BENCH_7.json (regenerate with
+// The committed baseline lives at BENCH_8.json (regenerate with
 // `go run ./cmd/bench`); CI runs the same entry point on every commit and
 // archives the JSON, so any two commits' perf can be diffed structurally.
 //
 // -ceiling turns the run into a regression gate: it fails the process when a
-// benchmark's allocs/op exceeds its committed ceiling, which is how CI pins
-// the message plane's allocation budget (reintroducing per-message boxing
-// costs ~1 alloc/message and blows the ceiling immediately; ordinary noise
-// does not).
+// benchmark's gated metric exceeds its committed ceiling. Entries are
+// "Name=max" (gating allocs/op, the default metric) or "Name:metric=max"
+// for any reported metric — CI uses the allocs/op form to pin the message
+// plane's allocation budget (reintroducing per-message boxing costs
+// ~1 alloc/message and blows the ceiling immediately; ordinary noise does
+// not) and the B/op + ns/op forms to pin the million-node flood round's
+// O(edges) footprint and wall-clock smoke bound.
+//
+// Besides the main and steady-state series, a third pass runs the
+// million-node scale benchmark (-millionbench, a few iterations: one Run
+// executes all of them, so per-round cost is measured without paying the
+// graph build per iteration).
 package main
 
 import (
@@ -76,9 +84,12 @@ func main() {
 	steadyBench := flag.String("steadybench", "BenchmarkBusyRound", "steady-state benchmark regex (empty disables the pass)")
 	steadyTime := flag.String("steadytime", "20000x", "benchtime for the steady-state pass (long enough to amortize setup to 0 allocs/op)")
 	steadyPkg := flag.String("steadypkg", "./internal/local", "package for the steady-state pass")
-	out := flag.String("out", "BENCH_7.json", "output JSON path (- for stdout)")
+	millionBench := flag.String("millionbench", "BenchmarkMillionNodeFloodRound", "million-node scale benchmark regex (empty disables the pass)")
+	millionTime := flag.String("milliontime", "16x", "benchtime for the million-node pass (iterations share one Run's setup)")
+	millionPkg := flag.String("millionpkg", "./internal/local", "package for the million-node pass")
+	out := flag.String("out", "BENCH_8.json", "output JSON path (- for stdout)")
 	raw := flag.String("raw", "", "optionally also write the raw go test output to this path")
-	ceiling := flag.String("ceiling", "", "allocation gate: comma-separated name=maxAllocsPerOp pairs; exit non-zero when exceeded")
+	ceiling := flag.String("ceiling", "", "regression gate: comma-separated Name=max (allocs/op) or Name:metric=max pairs; exit non-zero when exceeded")
 	diffOld := flag.String("diff", "", "diff mode: compare this baseline snapshot against the snapshot named by the positional arg (`bench -diff old.json new.json`) instead of running benchmarks; exit non-zero on regression")
 	tolNS := flag.Float64("tolns", 8, "diff mode: max allowed ns/op ratio new/old (wall time is noisy across machine classes)")
 	tolB := flag.Float64("tolb", 2, "diff mode: max allowed B/op ratio new/old")
@@ -115,6 +126,17 @@ func main() {
 			fatal(serr)
 		}
 		output += steady
+	}
+	// The million-node pass prices a flood round at the scale target the CSR
+	// core exists for. Few iterations suffice: the benchmark executes all of
+	// b.N rounds inside one Run, so setup amortizes across them and B/op
+	// approaches the steady-state (near-zero) footprint from above.
+	if *millionBench != "" {
+		million, merr := runBench(*millionBench, *millionTime, *millionPkg)
+		if merr != nil {
+			fatal(merr)
+		}
+		output += million
 	}
 	if *raw != "" {
 		if err := os.WriteFile(*raw, []byte(output), 0o644); err != nil {
@@ -220,56 +242,68 @@ func parseLine(line string) (Benchmark, error) {
 	return b, nil
 }
 
-// parseCeilings parses "name=max,name=max" into a map.
-func parseCeilings(s string) (map[string]float64, error) {
-	out := make(map[string]float64)
+// ceilingSpec is one -ceiling entry: a benchmark name, the metric it gates
+// (allocs/op unless "Name:metric=max" names another), and the maximum.
+type ceilingSpec struct {
+	name   string
+	metric string
+	max    float64
+}
+
+// parseCeilings parses "Name=max,Name:metric=max" into gate entries.
+func parseCeilings(s string) ([]ceilingSpec, error) {
+	var out []ceilingSpec
 	if s == "" {
 		return out, nil
 	}
 	for _, pair := range strings.Split(s, ",") {
 		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
 		if !ok {
-			return nil, fmt.Errorf("malformed -ceiling entry %q (want name=maxAllocs)", pair)
+			return nil, fmt.Errorf("malformed -ceiling entry %q (want Name=max or Name:metric=max)", pair)
 		}
 		v, err := strconv.ParseFloat(val, 64)
 		if err != nil {
 			return nil, fmt.Errorf("malformed -ceiling value in %q: %w", pair, err)
 		}
-		out[name] = v
+		metric := "allocs/op"
+		if n, m, hasMetric := strings.Cut(name, ":"); hasMetric {
+			name, metric = n, m
+		}
+		out = append(out, ceilingSpec{name: name, metric: metric, max: v})
 	}
 	return out, nil
 }
 
-// gate enforces allocs/op ceilings. Every named ceiling must match at least
+// gate enforces metric ceilings. Every named ceiling must match at least
 // one recorded benchmark — a renamed benchmark must not silently disarm its
 // gate.
-func gate(snap *Snapshot, ceilings map[string]float64) error {
+func gate(snap *Snapshot, ceilings []ceilingSpec) error {
 	if len(ceilings) == 0 {
 		return nil
 	}
 	var violations []string
-	for name, max := range ceilings {
+	for _, c := range ceilings {
 		matched := false
 		for _, b := range snap.Benchmarks {
-			if b.Name != name {
+			if b.Name != c.name {
 				continue
 			}
 			matched = true
-			got, ok := b.Metrics["allocs/op"]
+			got, ok := b.Metrics[c.metric]
 			if !ok {
-				violations = append(violations, fmt.Sprintf("%s reported no allocs/op (run with -benchmem)", name))
+				violations = append(violations, fmt.Sprintf("%s reported no %s (run with -benchmem)", c.name, c.metric))
 				continue
 			}
-			if got > max {
-				violations = append(violations, fmt.Sprintf("%s: %.0f allocs/op exceeds ceiling %.0f", name, got, max))
+			if got > c.max {
+				violations = append(violations, fmt.Sprintf("%s: %.0f %s exceeds ceiling %.0f", c.name, got, c.metric, c.max))
 			}
 		}
 		if !matched {
-			violations = append(violations, fmt.Sprintf("ceiling names unknown benchmark %q", name))
+			violations = append(violations, fmt.Sprintf("ceiling names unknown benchmark %q", c.name))
 		}
 	}
 	if len(violations) > 0 {
-		return fmt.Errorf("allocation gate failed:\n  %s", strings.Join(violations, "\n  "))
+		return fmt.Errorf("ceiling gate failed:\n  %s", strings.Join(violations, "\n  "))
 	}
 	return nil
 }

@@ -30,7 +30,6 @@ import (
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/graph/gen"
-	"repro/internal/xrand"
 )
 
 func main() {
@@ -83,7 +82,10 @@ func main() {
 // gives a CLI probe for — the regime the sink was built for: schedules far
 // longer than the per-round ledgers could afford to retain.
 func runLong(rounds int) {
-	g := gen.ConnectedGNP(64, 0.08, xrand.New(1))
+	g, err := gen.Build(gen.Spec{Family: "gnp", N: 64, P: 0.08, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	sink := repro.NewMetricsSink(0)
 	eng := repro.NewEngine(
 		repro.WithSeed(1),

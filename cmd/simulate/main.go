@@ -20,24 +20,22 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"os"
 	"os/signal"
 	"strings"
 
 	"repro"
 	"repro/internal/algorithms"
-	"repro/internal/graph"
 	"repro/internal/graph/gen"
-	"repro/internal/xrand"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		kind       = flag.String("graph", "complete", "graph family: gnp|complete|grid|hypercube|barbell")
+		kind       = flag.String("graph", "complete", "graph family: "+strings.Join(gen.FamilyNames(), "|"))
 		n          = flag.Int("n", 300, "node count")
-		deg        = flag.Float64("deg", 16, "average degree for gnp")
+		deg        = flag.Float64("deg", 16, "average degree (gnp/regular/pa/expander)")
+		graphPath  = flag.String("graphpath", "", "edge-list file for -graph edgelist")
 		alg        = flag.String("alg", "maxid", "algorithm: maxid|mis|coloring|bfs")
 		t          = flag.Int("t", 4, "round budget for maxid/bfs (mis/coloring use their whp budgets)")
 		scheme     = flag.String("scheme", "scheme1", "execution scheme: "+strings.Join(repro.SchemeNames(), "|"))
@@ -57,7 +55,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	g := makeGraph(*kind, *n, *deg, *seed)
+	g, err := gen.Build(gen.Spec{Family: *kind, N: *n, Degree: *deg, Seed: *seed, Path: *graphPath})
+	if err != nil {
+		log.Fatal(err)
+	}
 	spec := makeSpec(*alg, *t, g.NumNodes())
 	fmt.Printf("graph: %s n=%d m=%d   algorithm: %s t=%d   scheme: %s\n",
 		*kind, g.NumNodes(), g.NumEdges(), spec.Name, spec.T, *scheme)
@@ -192,25 +193,5 @@ func makeSpec(alg string, t, n int) algorithms.Spec {
 	default:
 		log.Fatalf("unknown algorithm %q", alg)
 		return algorithms.Spec{}
-	}
-}
-
-func makeGraph(kind string, n int, deg float64, seed uint64) *graph.Graph {
-	rng := xrand.New(seed)
-	switch kind {
-	case "gnp":
-		return gen.Connectify(gen.GNP(n, deg/float64(n-1), rng), rng)
-	case "complete":
-		return gen.Complete(n)
-	case "grid":
-		side := int(math.Sqrt(float64(n)))
-		return gen.Grid(side, side)
-	case "hypercube":
-		return gen.Hypercube(int(math.Round(math.Log2(float64(n)))))
-	case "barbell":
-		return gen.Barbell(n/2, 4)
-	default:
-		log.Fatalf("unknown graph family %q", kind)
-		return nil
 	}
 }

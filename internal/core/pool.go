@@ -2,12 +2,10 @@ package core
 
 import (
 	"context"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/xrand"
 )
 
@@ -17,83 +15,12 @@ import (
 // written to caller-owned, index-disjoint slots, which keeps the output
 // deterministic regardless of scheduling.
 //
-// Cancellation is checked before every item, so a cancelled sweep stops
-// within one item's work and returns ctx.Err(). When several items fail, the
-// error of the lowest-indexed failing item that ran is returned (the
-// sequential path's choice; under concurrency a later item may fail first,
-// but the sweep keeps the smallest index observed).
+// It delegates to the shared scheduler in internal/sched — the same package
+// that backs the LOCAL engine's worker pool — and is re-exported here so the
+// facade's existing call sites keep compiling. See sched.ParallelFor for the
+// cancellation and first-error semantics.
 func ParallelFor(ctx context.Context, n, workers int, fn func(i int) error) error {
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		next      atomic.Int64
-		stop      atomic.Bool
-		completed atomic.Int64
-		mu        sync.Mutex
-		firstIdx  = n
-		firstErr  error
-	)
-	fail := func(i int, err error) {
-		mu.Lock()
-		if i < firstIdx {
-			firstIdx, firstErr = i, err
-		}
-		mu.Unlock()
-		stop.Store(true)
-	}
-	done := ctx.Done()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if stop.Load() {
-					return
-				}
-				select {
-				case <-done:
-					stop.Store(true)
-					return
-				default:
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := fn(i); err != nil {
-					fail(i, err)
-				}
-				completed.Add(1)
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	// Cancellation only surfaces when it actually skipped work: a sweep
-	// whose every item completed returns nil even if the context expired as
-	// it finished, matching the sequential path.
-	if int(completed.Load()) == n {
-		return nil
-	}
-	return ctx.Err()
+	return sched.ParallelFor(ctx, n, workers, fn)
 }
 
 // edgePool is the distributed root's view of X_v: the cluster's unexplored

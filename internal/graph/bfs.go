@@ -21,7 +21,7 @@ func (g *Graph) BFS(src NodeID, maxDepth int) []int {
 		if maxDepth >= 0 && dist[v] == maxDepth {
 			continue
 		}
-		for _, h := range g.adj[v] {
+		for _, h := range g.rows(v) {
 			if dist[h.Peer] == Unreachable {
 				dist[h.Peer] = dist[v] + 1
 				queue = append(queue, h.Peer)
@@ -72,7 +72,7 @@ func (g *Graph) Components() ([]int, int) {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, h := range g.adj[v] {
+			for _, h := range g.rows(v) {
 				if label[h.Peer] == -1 {
 					label[h.Peer] = next
 					queue = append(queue, h.Peer)

@@ -1,0 +1,151 @@
+package gen
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestLoadEdgeListBasic(t *testing.T) {
+	const in = `# SNAP-style header comment
+% KONECT-style comment too
+
+10 20
+20 30 0.5 1234567
+30 10
+`
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d nodes / %d edges, want 3/3", g.NumNodes(), g.NumEdges())
+	}
+	// Dense relabeling is first-appearance order: 10->0, 20->1, 30->2.
+	e := g.Edges()
+	if e[0].U != 0 || e[0].V != 1 || e[1].U != 1 || e[1].V != 2 || e[2].U != 2 || e[2].V != 0 {
+		t.Fatalf("relabeling not first-appearance order: %+v", e)
+	}
+	if !g.Connected() {
+		t.Fatal("triangle should be connected")
+	}
+}
+
+func TestLoadEdgeListDropsLoopsAndDuplicates(t *testing.T) {
+	const in = `1 2
+2 1
+1 2
+3 3
+2 3
+`
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-2 kept once (reverse and repeat collapsed), 3-3 dropped, 2-3 kept.
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d nodes / %d edges, want 3/2", g.NumNodes(), g.NumEdges())
+	}
+	if !g.IsSimple() {
+		t.Fatal("loader emitted parallel edges")
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	cases := []struct{ name, in, wantSub string }{
+		{"one-field", "7\n", "line 1"},
+		{"non-integer", "a b\n", "bad node label"},
+		{"negative", "-1 2\n", "negative node label"},
+		{"late-error", "1 2\n3 four\n", "line 2"},
+	}
+	for _, c := range cases {
+		_, err := LoadEdgeList(strings.NewReader(c.in))
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestLoadEdgeListDeterministic(t *testing.T) {
+	const in = "5 9\n9 5\n1 5\n9 1\n# tail comment\n"
+	a, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same input produced different fingerprints")
+	}
+}
+
+func TestLoadEdgeListFileMissing(t *testing.T) {
+	if _, err := LoadEdgeListFile("/nonexistent/definitely-not-here.txt"); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestEdgelistSpecRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/g.txt"
+	var sb strings.Builder
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&sb, "%d %d\n", i, (i+1)%10)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(Spec{Family: "edgelist", Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Cycle(10).Fingerprint()
+	if g.Fingerprint() != want {
+		t.Fatalf("loaded 10-cycle fingerprint %x, want %x", g.Fingerprint(), want)
+	}
+}
+
+// FuzzLoadEdgeList drives the loader with arbitrary text. The invariants:
+// it never panics, and on success the graph is internally consistent,
+// simple, and loop-free — whatever garbage the file contained.
+func FuzzLoadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3\n")
+	f.Add("# comment\n% comment\n\n10 20 0.5\n")
+	f.Add("1 1\n2 2\n")                 // all self-loops
+	f.Add("1 2\n2 1\n1 2\n")            // duplicates both orientations
+	f.Add("-1 2\n")                     // negative label
+	f.Add("a b\n")                      // non-integer
+	f.Add("7\n")                        // too few fields
+	f.Add("99999999999999999999 1\n")   // overflows int64
+	f.Add("0 9223372036854775807\n")    // max int64 label
+	f.Add("1\t2\r\n3   4\n")            // tabs, CR, runs of spaces
+	f.Add(strings.Repeat("1 2\n", 100)) // many duplicates
+	f.Add("#\n#1 2\n%3 4\n")            // comments that look like edges
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := LoadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("loader built inconsistent graph: %v", err)
+		}
+		if !g.IsSimple() {
+			t.Fatal("loader built a multigraph despite dedup")
+		}
+		for _, e := range g.Edges() {
+			if e.U == e.V {
+				t.Fatalf("loader kept self-loop %+v", e)
+			}
+		}
+		// Determinism: reloading the same bytes gives the same graph.
+		h, err := LoadEdgeList(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("second load failed where first succeeded: %v", err)
+		}
+		if g.Fingerprint() != h.Fingerprint() {
+			t.Fatal("non-deterministic load")
+		}
+	})
+}

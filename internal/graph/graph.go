@@ -14,12 +14,44 @@
 //
 // Self-loops are rejected: an intra-cluster edge simply disappears from the
 // contracted graph, which is how the paper defines the cluster graph.
+//
+// # Representation
+//
+// The graph is stored in CSR (compressed sparse row) form so million-node
+// graphs fit in O(edges) memory with no per-node allocations:
+//
+//   - edges is the dense edge table in insertion order — the single source
+//     of truth and the basis of Fingerprint;
+//   - adjacency is one flat []Half backing array indexed by a rowStart
+//     offset table; Incident(v) returns a subslice view, allocation-free;
+//   - the EdgeID index is a sorted slice of edge-table positions searched by
+//     binary search, not a map — ~4 bytes per edge instead of ~50, and
+//     appends are O(1) for monotonically increasing IDs (the common case:
+//     AddEdge auto-IDs, contraction, and sorted subgraph construction all
+//     insert in ascending ID order).
+//
+// The CSR arrays are rebuilt lazily: mutation marks the graph dirty and the
+// next adjacency read rebuilds the row structure in one O(n+m) counting-sort
+// pass that reproduces per-node insertion order exactly, so executions and
+// goldens are bit-identical to the historical [][]Half representation.
+// Construction (m AddEdge calls, then reads) therefore costs O(n+m) total.
+// The rebuild is guarded by a mutex behind an atomic fast path: concurrent
+// readers of an already-built graph (engine shards share cached graphs) pay
+// one atomic load.
+//
+// Old callers constructed graphs through this same API, so no builder type
+// is needed: New (or NewWithCapacity to preallocate), AddEdge in a loop, and
+// the first read assembles the CSR rows.
 package graph
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"math"
 	"slices"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node. Nodes of a graph with n nodes are 0..n-1.
@@ -58,24 +90,40 @@ func (e Edge) Other(v NodeID) NodeID {
 
 // Graph is an undirected multigraph. The zero value is an empty graph with no
 // nodes; use New to create a graph with a fixed node count.
+//
+// Graph is safe for concurrent reads once constructed; mutation must not
+// race with reads or other mutations.
 type Graph struct {
 	n      int
-	edges  []Edge
-	byID   map[EdgeID]int // edge ID -> index into edges
-	adj    [][]Half
-	nextID EdgeID // smallest never-auto-assigned ID
+	edges  []Edge  // dense edge table, insertion order
+	byID   []int32 // edge-table indices sorted by ascending EdgeID
+	nextID EdgeID  // smallest never-auto-assigned ID (== max assigned ID + 1)
+
+	// CSR adjacency, rebuilt lazily on first read after a mutation.
+	clean    atomic.Bool
+	mu       sync.Mutex // serializes rebuilds among concurrent readers
+	rowStart []int32    // len n+1; node v's halves are halves[rowStart[v]:rowStart[v+1]]
+	halves   []Half     // one flat backing array for every incident list
 }
 
 // New returns an empty graph on n nodes (0..n-1) and no edges.
 func New(n int) *Graph {
+	return NewWithCapacity(n, 0)
+}
+
+// NewWithCapacity returns an empty graph on n nodes with the edge table
+// preallocated for edgeCap edges. Generators that know their edge count use
+// it to avoid append regrowth on million-edge builds.
+func NewWithCapacity(n, edgeCap int) *Graph {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	return &Graph{
-		n:    n,
-		byID: make(map[EdgeID]int),
-		adj:  make([][]Half, n),
+	g := &Graph{n: n}
+	if edgeCap > 0 {
+		g.edges = make([]Edge, 0, edgeCap)
+		g.byID = make([]int32, 0, edgeCap)
 	}
+	return g
 }
 
 // ErrDuplicateEdgeID reports an attempt to reuse an edge ID.
@@ -96,13 +144,8 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 // AddEdge adds an undirected edge between u and v with a fresh unique ID and
 // returns that ID. Parallel edges are allowed; self-loops are not.
 func (g *Graph) AddEdge(u, v NodeID) EdgeID {
+	// nextID exceeds every ID ever used, so it is always fresh.
 	id := g.nextID
-	for {
-		if _, used := g.byID[id]; !used {
-			break
-		}
-		id++
-	}
 	if err := g.AddEdgeWithID(id, u, v); err != nil {
 		// Only self-loop or bad node can fail here; surface as panic since
 		// AddEdge has no error return by design (generators guarantee inputs).
@@ -122,46 +165,122 @@ func (g *Graph) AddEdgeWithID(id EdgeID, u, v NodeID) error {
 	if int(u) < 0 || int(u) >= g.n || int(v) < 0 || int(v) >= g.n {
 		return fmt.Errorf("%w: (%d,%d) in graph of %d nodes", ErrNoSuchNode, u, v, g.n)
 	}
-	if _, used := g.byID[id]; used {
-		return fmt.Errorf("%w: %d", ErrDuplicateEdgeID, id)
+	if len(g.edges) >= math.MaxInt32 {
+		panic("graph: edge count exceeds int32 index range")
 	}
-	g.byID[id] = len(g.edges)
-	g.edges = append(g.edges, Edge{ID: id, U: u, V: v})
-	g.adj[u] = append(g.adj[u], Half{Edge: id, Peer: v})
-	g.adj[v] = append(g.adj[v], Half{Edge: id, Peer: u})
+	idx := int32(len(g.edges))
 	if id >= g.nextID {
+		// Fast path: id is larger than every existing ID, so the sorted
+		// index grows by appending. Every hot construction path lands here.
+		g.byID = append(g.byID, idx)
 		g.nextID = id + 1
+	} else {
+		pos, found := g.searchID(id)
+		if found {
+			return fmt.Errorf("%w: %d", ErrDuplicateEdgeID, id)
+		}
+		g.byID = slices.Insert(g.byID, pos, idx)
 	}
+	g.edges = append(g.edges, Edge{ID: id, U: u, V: v})
+	g.clean.Store(false)
 	return nil
+}
+
+// searchID locates id in the sorted index: the insertion position and
+// whether an edge with that ID exists.
+func (g *Graph) searchID(id EdgeID) (int, bool) {
+	return slices.BinarySearchFunc(g.byID, id, func(i int32, target EdgeID) int {
+		return cmp.Compare(g.edges[i].ID, target)
+	})
+}
+
+// rows returns the CSR row slice for v, rebuilding the adjacency structure
+// if a mutation invalidated it. The fast path is one atomic load.
+func (g *Graph) rows(v NodeID) []Half {
+	if !g.clean.Load() {
+		g.rebuild()
+	}
+	return g.halves[g.rowStart[v]:g.rowStart[v+1]]
+}
+
+// rebuild reassembles the CSR arrays from the edge table with a counting
+// sort. Edges are placed in insertion order, so each node's incident list
+// order is identical to what incremental appends would have produced — the
+// property that keeps executions bit-identical across representations.
+func (g *Graph) rebuild() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.clean.Load() {
+		return // another reader rebuilt while we waited
+	}
+	if 2*len(g.edges) > math.MaxInt32 {
+		panic("graph: half-edge count exceeds int32 index range")
+	}
+	if cap(g.rowStart) >= g.n+1 {
+		g.rowStart = g.rowStart[:g.n+1]
+		clear(g.rowStart)
+	} else {
+		g.rowStart = make([]int32, g.n+1)
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		g.rowStart[e.U+1]++
+		g.rowStart[e.V+1]++
+	}
+	for v := 0; v < g.n; v++ {
+		g.rowStart[v+1] += g.rowStart[v]
+	}
+	if cap(g.halves) >= 2*len(g.edges) {
+		g.halves = g.halves[:2*len(g.edges)]
+	} else {
+		g.halves = make([]Half, 2*len(g.edges))
+	}
+	next := make([]int32, g.n)
+	copy(next, g.rowStart[:g.n])
+	for i := range g.edges {
+		e := &g.edges[i]
+		g.halves[next[e.U]] = Half{Edge: e.ID, Peer: e.V}
+		next[e.U]++
+		g.halves[next[e.V]] = Half{Edge: e.ID, Peer: e.U}
+		next[e.V]++
+	}
+	g.clean.Store(true)
 }
 
 // Degree returns the number of edge endpoints at v (parallel edges counted
 // with multiplicity).
-func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v NodeID) int {
+	if !g.clean.Load() {
+		g.rebuild()
+	}
+	return int(g.rowStart[v+1] - g.rowStart[v])
+}
 
-// Incident returns v's incident half-edges. The returned slice is owned by
-// the graph and must not be modified; callers that need to retain or mutate
-// it must copy. This is a deliberate exception to copy-at-boundaries: the
-// simulator iterates incident lists in its innermost loop.
-func (g *Graph) Incident(v NodeID) []Half { return g.adj[v] }
+// Incident returns v's incident half-edges — a view into the graph's flat
+// CSR backing array. The returned slice is owned by the graph and must not
+// be modified; callers that need to retain or mutate it must copy. This is a
+// deliberate exception to copy-at-boundaries: the simulator iterates
+// incident lists in its innermost loop, and the call is allocation-free.
+func (g *Graph) Incident(v NodeID) []Half { return g.rows(v) }
 
-// Edges returns all edges. The returned slice is owned by the graph and must
-// not be modified.
+// Edges returns all edges in insertion order. The returned slice is owned by
+// the graph and must not be modified.
 func (g *Graph) Edges() []Edge { return g.edges }
 
-// EdgeByID returns the edge with the given ID.
+// EdgeByID returns the edge with the given ID. The lookup is a binary search
+// over the sorted ID index: allocation-free, O(log m).
 func (g *Graph) EdgeByID(id EdgeID) (Edge, bool) {
-	i, ok := g.byID[id]
-	if !ok {
+	pos, found := g.searchID(id)
+	if !found {
 		return Edge{}, false
 	}
-	return g.edges[i], true
+	return g.edges[g.byID[pos]], true
 }
 
 // HasEdgeID reports whether an edge with the given ID exists.
 func (g *Graph) HasEdgeID(id EdgeID) bool {
-	_, ok := g.byID[id]
-	return ok
+	_, found := g.searchID(id)
+	return found
 }
 
 // Neighbors returns the distinct neighbors of v in ascending order (parallel
@@ -169,8 +288,9 @@ func (g *Graph) HasEdgeID(id EdgeID) bool {
 // call makes: duplicates are removed by sorting in place and compacting, not
 // through a scratch set.
 func (g *Graph) Neighbors(v NodeID) []NodeID {
-	out := make([]NodeID, len(g.adj[v]))
-	for i, h := range g.adj[v] {
+	row := g.rows(v)
+	out := make([]NodeID, len(row))
+	for i, h := range row {
 		out[i] = h.Peer
 	}
 	slices.Sort(out)
@@ -180,7 +300,7 @@ func (g *Graph) Neighbors(v NodeID) []NodeID {
 // EdgesBetween returns the IDs of all parallel edges between u and v.
 func (g *Graph) EdgesBetween(u, v NodeID) []EdgeID {
 	var out []EdgeID
-	for _, h := range g.adj[u] {
+	for _, h := range g.rows(u) {
 		if h.Peer == v {
 			out = append(out, h.Edge)
 		}
@@ -190,32 +310,44 @@ func (g *Graph) EdgesBetween(u, v NodeID) []EdgeID {
 
 // MaxDegree returns the maximum degree over all nodes (0 for empty graphs).
 func (g *Graph) MaxDegree() int {
-	max := 0
+	if g.n == 0 {
+		return 0
+	}
+	if !g.clean.Load() {
+		g.rebuild()
+	}
+	max := int32(0)
 	for v := 0; v < g.n; v++ {
-		if d := len(g.adj[v]); d > max {
+		if d := g.rowStart[v+1] - g.rowStart[v]; d > max {
 			max = d
 		}
 	}
-	return max
+	return int(max)
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := New(g.n)
-	for _, e := range g.edges {
-		if err := c.AddEdgeWithID(e.ID, e.U, e.V); err != nil {
-			panic(err) // cannot happen: source graph is consistent
-		}
+	return &Graph{
+		n:      g.n,
+		edges:  slices.Clone(g.edges),
+		byID:   slices.Clone(g.byID),
+		nextID: g.nextID,
+		// CSR arrays stay unset; the clone rebuilds on first read.
 	}
-	return c
 }
 
 // SubgraphByEdges returns the spanning subgraph of g containing exactly the
-// edges whose IDs appear in keep (same node set, edge IDs preserved).
-// Unknown IDs in keep are an error: a spanner must be a subset of E.
+// edges whose IDs appear in keep (same node set, edge IDs preserved, edges
+// inserted in ascending ID order so the result is deterministic). Unknown
+// IDs in keep are an error: a spanner must be a subset of E.
 func (g *Graph) SubgraphByEdges(keep map[EdgeID]bool) (*Graph, error) {
-	h := New(g.n)
+	ids := make([]EdgeID, 0, len(keep))
 	for id := range keep {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	h := NewWithCapacity(g.n, len(ids))
+	for _, id := range ids {
 		e, ok := g.EdgeByID(id)
 		if !ok {
 			return nil, fmt.Errorf("graph: edge %d not in graph", id)
@@ -274,15 +406,22 @@ func (g *Graph) SimpleEdgeCount() int {
 // IsSimple reports whether the graph has no parallel edges.
 func (g *Graph) IsSimple() bool { return g.SimpleEdgeCount() == len(g.edges) }
 
-// Validate checks internal consistency; it is used by tests and costs O(n+m).
+// Validate checks internal consistency; it is used by tests and costs
+// O(n + m log m).
 func (g *Graph) Validate() error {
-	if len(g.adj) != g.n {
-		return fmt.Errorf("graph: adjacency size %d != n %d", len(g.adj), g.n)
+	if len(g.byID) != len(g.edges) {
+		return fmt.Errorf("graph: ID index has %d entries for %d edges", len(g.byID), len(g.edges))
+	}
+	for i := 1; i < len(g.byID); i++ {
+		if g.edges[g.byID[i-1]].ID >= g.edges[g.byID[i]].ID {
+			return fmt.Errorf("graph: ID index out of order at position %d", i)
+		}
 	}
 	halves := 0
-	for v := range g.adj {
-		halves += len(g.adj[v])
-		for _, h := range g.adj[v] {
+	for v := 0; v < g.n; v++ {
+		row := g.rows(NodeID(v))
+		halves += len(row)
+		for _, h := range row {
 			e, ok := g.EdgeByID(h.Edge)
 			if !ok {
 				return fmt.Errorf("graph: node %d lists unknown edge %d", v, h.Edge)

@@ -15,17 +15,29 @@
 //
 // Two engines execute the same Protocol code: a sequential engine and a
 // concurrent engine that fans node steps — and message delivery, sharded by
-// receiver — out over a persistent worker pool with a barrier per phase.
-// Per-node randomness comes from streams derived from (seed, node ID), and
-// inboxes are sorted canonically, so both engines produce bit-identical
-// executions — a property the test suite checks.
+// receiver — out over a persistent worker pool (internal/sched) with a
+// barrier per phase. Per-node randomness comes from streams derived from
+// (seed, node ID), and inboxes are sorted canonically, so both engines
+// produce bit-identical executions — a property the test suite checks.
 //
-// The message plane is allocation-free in the steady state: outboxes and
-// inboxes are staged in per-node buffers that are truncated and reused
-// across rounds, ordering keys ride in the Message struct itself (no
+// Sends are staged at Env.Send time into per-(step worker, receiver shard)
+// buckets: during the step phase each worker appends only to its own bucket
+// row, and during delivery each worker drains only its own bucket column, so
+// delivery reads each message exactly once — O(messages) total, not
+// O(workers x messages) — and nothing is locked on either path. Reading the
+// column in step-worker order reproduces the sequential engine's
+// (sender, send order) staging order exactly, which is what keeps the two
+// engines bit-identical at every worker count.
+//
+// The message plane is allocation-free in the steady state: staging buckets
+// and inboxes are truncated and reused across rounds, per-node state (Envs,
+// ports, peer indices, RNG streams) lives in flat arrays with no per-node
+// maps or pointers, ordering keys ride in the Message struct itself (no
 // per-message boxing), and the canonical sort runs over the concrete slice
 // with no reflection. A busy round at steady state performs zero heap
-// allocations — a property the test suite pins with testing.AllocsPerRun.
+// allocations — a property the test suite pins with testing.AllocsPerRun —
+// and a run's setup memory is O(nodes + edges), which is what lets
+// million-node graphs fit.
 package local
 
 import (
@@ -33,12 +45,12 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/xrand"
 )
 
@@ -191,17 +203,24 @@ func payloadUnits(p any) int64 {
 
 // Env is a node's handle to the simulator. It is valid only inside Step (and
 // the node's own goroutine in concurrent mode); protocols must not retain it
-// across rounds or share it.
+// across rounds or share it. Envs live in one flat per-run array — no
+// per-node heap objects — and a node's ports and peer indices are views into
+// run-wide flat arrays.
 type Env struct {
-	run    *run
-	idx    graph.NodeID // index in the run's graph
-	id     graph.NodeID // reported identity (equals idx unless IDMap is set)
-	rng    *xrand.RNG
-	ports  []Port
-	peer   map[graph.EdgeID]graph.NodeID // edge -> peer index; the node's O(1) send index
-	out    []outMsg                      // this round's sends, reused across rounds
-	counts []int64                       // indexed by the run's counter registry
-	halted bool
+	run   *run
+	idx   graph.NodeID // index in the run's graph
+	id    graph.NodeID // reported identity (equals idx unless IDMap is set)
+	shard int32        // the step worker that owns this node (its bucket row)
+	rng   xrand.RNG    // the node's private stream, stored inline
+
+	ports []Port         // incident ports sorted by edge ID (view into run.portsAll)
+	peers []graph.NodeID // receiver index per port, parallel to ports
+
+	seq    int32 // send order within the current round (the inbox tiebreak key)
+	hint   int32 // rotating port-position hint: protocols that send along
+	halted bool  // their port list in order resolve each edge in O(1)
+
+	counts []int64 // indexed by the run's counter registry
 
 	// lastName/lastIdx memoize the node's most recent counter lookup so a
 	// protocol hammering one counter name skips the registry's shared
@@ -211,9 +230,12 @@ type Env struct {
 	lastIdx  int
 }
 
-type outMsg struct {
+// stagedMsg is one send awaiting delivery, staged in a per-(step worker,
+// receiver shard) bucket.
+type stagedMsg struct {
 	edge graph.EdgeID
 	to   graph.NodeID
+	seq  int32
 	body any
 }
 
@@ -242,20 +264,35 @@ func (e *Env) Ports() []Port { return e.ports }
 
 // Rand returns this node's private random stream. It is stable across
 // engines and runs with the same Config.Seed.
-func (e *Env) Rand() *xrand.RNG { return e.rng }
+func (e *Env) Rand() *xrand.RNG { return &e.rng }
 
 // Send transmits payload over the identified incident edge; it panics if the
 // edge is not incident to this node, which always indicates a protocol bug.
 // Multiple sends on the same edge in one round are delivered in order.
-// Incidence and the receiving endpoint resolve through the node's own
-// edge→peer index — no shared state is touched, so sends are cheap and
-// contention-free under the concurrent engine.
+//
+// The port resolves through a rotating hint (protocols overwhelmingly send
+// along their port list in order, making the lookup O(1)) with a binary
+// search over the node's sorted port view as the fallback. The message is
+// staged directly into the bucket for its receiver's shard: the bucket row
+// is owned by the step worker running this node, so sends touch no shared
+// state and delivery will read the message exactly once.
 func (e *Env) Send(edge graph.EdgeID, payload any) {
-	to, ok := e.peer[edge]
-	if !ok {
-		panic(fmt.Sprintf("local: node %d sent on non-incident edge %d", e.id, edge))
+	i := int(e.hint)
+	if i >= len(e.ports) || e.ports[i].Edge != edge {
+		var ok bool
+		i, ok = slices.BinarySearchFunc(e.ports, edge, func(p Port, id graph.EdgeID) int {
+			return cmp.Compare(p.Edge, id)
+		})
+		if !ok {
+			panic(fmt.Sprintf("local: node %d sent on non-incident edge %d", e.id, edge))
+		}
 	}
-	e.out = append(e.out, outMsg{edge: edge, to: to, body: payload})
+	e.hint = int32(i + 1)
+	to := e.peers[i]
+	r := e.run
+	bucket := &r.stages[e.shard][int(to)/r.chunk]
+	*bucket = append(*bucket, stagedMsg{edge: edge, to: to, seq: e.seq, body: payload})
+	e.seq++
 }
 
 // Halt marks the node as terminated. Pending sends from the current Step are
@@ -324,12 +361,37 @@ type run struct {
 	logN float64
 	done <-chan struct{} // cancellation signal; nil when uncancellable
 
-	envs     []*Env
-	protos   []Protocol
-	inbox    [][]Message // per-receiver staging, truncated and reused per round
+	envs     []Env          // flat per-node state, one array
+	protos   []Protocol     // per-node protocol instances
+	inbox    [][]Message    // per-receiver staging, truncated and reused per round
+	portsAll []Port         // every node's sorted ports, one flat backing array
+	peersAll []graph.NodeID // receiver indices parallel to portsAll
+
+	// stages[ws][w] holds the messages sent by step worker ws's nodes to
+	// receivers in shard w. Rows are written lock-free by their owning step
+	// worker; columns are drained lock-free by their owning delivery worker.
+	// Each row is its own allocation so workers do not false-share headers.
+	stages [][][]stagedMsg
+	totals []shardTotals // per delivery worker, cache-line padded
+
 	active   atomic.Int64
 	counters counterRegistry
-	pool     *workerPool // non-nil iff cfg.Concurrent
+
+	pool    *sched.Pool // non-nil iff cfg.Concurrent
+	nshards int         // worker count (1 for the sequential engine)
+	chunk   int         // nodes per shard; shard of node v is v/chunk
+
+	round     int // current round, read by stepFn
+	stepFn    func(w, lo, hi int)
+	deliverFn func(w, lo, hi int)
+}
+
+// shardTotals is one delivery worker's per-round message accounting, padded
+// to a cache line so workers do not false-share.
+type shardTotals struct {
+	sent  int64
+	units int64
+	_     [48]byte
 }
 
 // Run executes the protocol built by f on g under cfg and returns the cost
@@ -373,20 +435,53 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 		effN = cfg.NOverride
 	}
 	r.logN = cfg.LogNSlack * math.Log2(math.Max(2, float64(effN)))
+
+	// Shard geometry first: Env.Send routes by it. The sequential engine is
+	// the one-shard case of the same machinery.
+	if cfg.Concurrent {
+		r.pool = sched.NewPool(n, cfg.Workers)
+		defer r.pool.Stop()
+		r.nshards = r.pool.Workers()
+		r.chunk = r.pool.Chunk()
+	} else {
+		r.nshards = 1
+		r.chunk = n
+	}
+	if r.nshards < 1 {
+		r.nshards = 1
+	}
+	if r.chunk < 1 {
+		r.chunk = 1
+	}
+	r.stages = make([][][]stagedMsg, r.nshards)
+	for ws := range r.stages {
+		r.stages[ws] = make([][]stagedMsg, r.nshards)
+	}
+	r.totals = make([]shardTotals, r.nshards)
+
+	// Flat per-node state: one Env array, one ports array, one peer-index
+	// array — O(nodes + edges) setup memory, no per-node maps.
 	root := xrand.New(cfg.Seed)
-	r.envs = make([]*Env, n)
+	m := g.NumEdges()
+	r.envs = make([]Env, n)
 	r.protos = make([]Protocol, n)
 	r.inbox = make([][]Message, n)
+	r.portsAll = make([]Port, 0, 2*m)
+	r.peersAll = make([]graph.NodeID, 0, 2*m)
+	var scratch []graph.Half
 	for v := 0; v < n; v++ {
 		idx := graph.NodeID(v)
 		id := idx
 		if cfg.IDMap != nil {
 			id = cfg.IDMap[v]
 		}
-		inc := g.Incident(idx)
-		ports := make([]Port, len(inc))
-		peer := make(map[graph.EdgeID]graph.NodeID, len(inc))
-		for i, h := range inc {
+		// Sort a scratch copy of the incident list by edge ID, then emit
+		// ports and peer indices side by side: the two views stay parallel
+		// and the backing arrays never reallocate (capacity is exact).
+		scratch = append(scratch[:0], g.Incident(idx)...)
+		slices.SortFunc(scratch, func(a, b graph.Half) int { return cmp.Compare(a.Edge, b.Edge) })
+		base := len(r.portsAll)
+		for _, h := range scratch {
 			p := NoPeer
 			if cfg.KT1 {
 				p = h.Peer
@@ -394,18 +489,30 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 					p = cfg.IDMap[h.Peer]
 				}
 			}
-			ports[i] = Port{Edge: h.Edge, Peer: p}
-			peer[h.Edge] = h.Peer
+			r.portsAll = append(r.portsAll, Port{Edge: h.Edge, Peer: p})
+			r.peersAll = append(r.peersAll, h.Peer)
 		}
-		slices.SortFunc(ports, func(a, b Port) int { return cmp.Compare(a.Edge, b.Edge) })
-		r.envs[v] = &Env{run: r, idx: idx, id: id, rng: root.Derive(uint64(id)), ports: ports, peer: peer}
+		r.envs[v] = Env{
+			run:   r,
+			idx:   idx,
+			id:    id,
+			shard: int32(v / r.chunk),
+			rng:   root.Derived(uint64(id)),
+			ports: r.portsAll[base:len(r.portsAll):len(r.portsAll)],
+			peers: r.peersAll[base:len(r.peersAll):len(r.peersAll)],
+		}
 		r.protos[v] = f(id)
 	}
 	r.active.Store(int64(n))
-	if cfg.Concurrent {
-		r.pool = newWorkerPool(r, cfg.Workers)
-		defer r.pool.stop()
+	r.stepFn = func(w, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if r.cancelled() {
+				return
+			}
+			r.stepOne(v, r.round)
+		}
 	}
+	r.deliverFn = func(w, lo, hi int) { r.deliverShard(w, lo, hi) }
 
 	res := Result{Counters: make(map[string]int64)}
 	for round := 0; round < cfg.MaxRounds; round++ {
@@ -418,21 +525,26 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
+		r.round = round
 		if r.pool != nil {
-			r.pool.dispatch(poolCmd{op: opStep, round: round})
+			r.pool.Dispatch(r.stepFn)
 		} else {
-			r.stepAllSequential(round)
+			r.stepFn(0, 0, n)
 		}
 		// The engines return early on cancellation, possibly mid-round;
 		// abandon the round's output rather than deliver a partial step.
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		var sent, units int64
 		if r.pool != nil {
-			sent, units = r.deliverConcurrent()
+			r.pool.Dispatch(r.deliverFn)
 		} else {
-			sent, units = r.deliverSequential()
+			r.deliverFn(0, 0, n)
+		}
+		var sent, units int64
+		for w := range r.totals {
+			sent += r.totals[w].sent
+			units += r.totals[w].units
 		}
 		if !cfg.NoLedger {
 			res.PerRound = append(res.PerRound, sent)
@@ -460,10 +572,12 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 }
 
 func (r *run) stepOne(v int, round int) {
-	env := r.envs[v]
+	env := &r.envs[v]
 	if env.halted {
 		return
 	}
+	env.seq = 0
+	env.hint = 0
 	r.protos[v].Step(env, round, r.inbox[v])
 }
 
@@ -479,15 +593,6 @@ func (r *run) cancelled() bool {
 		return true
 	default:
 		return false
-	}
-}
-
-func (r *run) stepAllSequential(round int) {
-	for v := range r.envs {
-		if r.cancelled() {
-			return
-		}
-		r.stepOne(v, round)
 	}
 }
 
@@ -519,18 +624,24 @@ func sortInbox(in []Message) {
 	slices.SortStableFunc(in, msgOrder)
 }
 
-// deliverSequential moves this round's sends into next round's inboxes and
-// returns the number of messages sent and their total payload units.
-// Inboxes are truncated and refilled in (sender, send order) scan order,
-// then sorted by (edge, sender sequence), so both engines expose identical
-// inbox orderings. All staging buffers are reused: a steady-state round
-// allocates nothing.
-func (r *run) deliverSequential() (int64, int64) {
-	var sent, units int64
-	for v := range r.inbox {
+// deliverShard moves this round's sends for the receivers in [lo, hi) —
+// exactly the messages staged in bucket column w — into next round's
+// inboxes, and accumulates this worker's message totals. Draining the
+// column in step-worker order yields the (sender, send order) staging order
+// of the sequential engine, and the canonical (edge, seq) sort on top makes
+// both engines expose identical inboxes at every worker count. Each message
+// is read once, by the one worker owning its receiver's shard; messages to
+// halted receivers are dropped (but still billed, as the model prescribes).
+// All staging buffers are truncated and reused: a steady-state round
+// allocates nothing, and payload references are cleared so finished bursts
+// do not pin their payloads.
+func (r *run) deliverShard(w, lo, hi int) {
+	t := &r.totals[w]
+	t.sent, t.units = 0, 0
+	for v := lo; v < hi; v++ {
 		if r.envs[v].halted {
 			// A halted node never reads or receives again; drop its staging
-			// buffers (and the payloads they reference) instead of pinning
+			// buffer (and the payloads it references) instead of pinning
 			// them for the rest of the run.
 			r.inbox[v] = nil
 			continue
@@ -542,192 +653,19 @@ func (r *run) deliverSequential() (int64, int64) {
 		clear(r.inbox[v])
 		r.inbox[v] = r.inbox[v][:0]
 	}
-	for v := range r.envs {
-		env := r.envs[v]
-		sent += int64(len(env.out))
-		for i := range env.out {
-			m := &env.out[i]
-			units += payloadUnits(m.body)
-			to := int(m.to)
-			if r.envs[to].halted {
+	for ws := 0; ws < r.nshards; ws++ {
+		bucket := r.stages[ws][w]
+		t.sent += int64(len(bucket))
+		for i := range bucket {
+			m := &bucket[i]
+			t.units += payloadUnits(m.body)
+			if r.envs[m.to].halted {
 				continue // dropped: receiver terminated
 			}
-			r.inbox[to] = append(r.inbox[to], Message{Edge: m.edge, Payload: m.body, seq: int32(i)})
+			r.inbox[m.to] = append(r.inbox[m.to], Message{Edge: m.edge, Payload: m.body, seq: m.seq})
 		}
-		if env.halted {
-			env.out = nil // final sends just delivered; nothing follows
-		} else {
-			clear(env.out) // as with inboxes: no stale payload references
-			env.out = env.out[:0]
-		}
-	}
-	for v := range r.inbox {
-		sortInbox(r.inbox[v])
-	}
-	return sent, units
-}
-
-// deliverConcurrent is deliverSequential sharded by receiver over the
-// worker pool: each worker stages, sorts, and counts a disjoint range (see
-// workerPool.deliverShard), and the coordinator reduces the per-worker
-// totals and resets the outboxes after the barrier.
-func (r *run) deliverConcurrent() (int64, int64) {
-	r.pool.dispatch(poolCmd{op: opDeliver})
-	var sent, units int64
-	for w := range r.pool.totals {
-		sent += r.pool.totals[w].sent
-		units += r.pool.totals[w].units
-	}
-	// Outboxes are truncated only after the barrier: every worker scans
-	// every sender's outbox while staging its own receiver range. Halted
-	// senders' buffers are dropped outright, as in the sequential engine.
-	for v := range r.envs {
-		if r.envs[v].halted {
-			r.envs[v].out = nil
-		} else {
-			clear(r.envs[v].out) // no stale payload references
-			r.envs[v].out = r.envs[v].out[:0]
-		}
-	}
-	return sent, units
-}
-
-// poolCmd is one phase dispatched to every worker: step the worker's node
-// range at the given round, or deliver its receiver range.
-type poolCmd struct {
-	op    uint8
-	round int
-}
-
-const (
-	opStep uint8 = iota
-	opDeliver
-)
-
-// workerPool is the concurrent engine's persistent pool: one goroutine per
-// worker, spawned once per run, each owning a fixed node range that serves
-// both as its step range and its delivery (receiver) range. Phases are
-// broadcast over per-worker buffered channels and joined on a WaitGroup, so
-// a steady-state round performs no allocation and spawns no goroutines.
-type workerPool struct {
-	r      *run
-	wg     sync.WaitGroup
-	cmds   []chan poolCmd
-	lo, hi []int
-	totals []workerTotals
-}
-
-// workerTotals is one worker's per-round message accounting, padded to a
-// cache line so workers do not false-share.
-type workerTotals struct {
-	sent  int64
-	units int64
-	_     [48]byte
-}
-
-func newWorkerPool(r *run, workers int) *workerPool {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	n := len(r.envs)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	p := &workerPool{r: r}
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		p.lo = append(p.lo, lo)
-		p.hi = append(p.hi, hi)
-		p.cmds = append(p.cmds, make(chan poolCmd, 1))
-	}
-	p.totals = make([]workerTotals, len(p.cmds))
-	for w := range p.cmds {
-		go p.work(w)
-	}
-	return p
-}
-
-// dispatch broadcasts one phase to every worker and blocks until all have
-// completed it.
-func (p *workerPool) dispatch(cmd poolCmd) {
-	p.wg.Add(len(p.cmds))
-	for _, c := range p.cmds {
-		c <- cmd
-	}
-	p.wg.Wait()
-}
-
-// stop terminates the workers; it must be called exactly once, after the
-// last dispatch.
-func (p *workerPool) stop() {
-	for _, c := range p.cmds {
-		close(c)
-	}
-}
-
-func (p *workerPool) work(w int) {
-	for cmd := range p.cmds[w] {
-		switch cmd.op {
-		case opStep:
-			for v := p.lo[w]; v < p.hi[w]; v++ {
-				if p.r.cancelled() {
-					break
-				}
-				p.r.stepOne(v, cmd.round)
-			}
-		case opDeliver:
-			p.deliverShard(w)
-		}
-		p.wg.Done()
-	}
-}
-
-// deliverShard stages this round's messages for the receivers in worker w's
-// range and counts the messages sent by the senders in the same range. Every
-// worker scans every sender's outbox in node order and keeps only its own
-// receivers, so each receiver's staging order — (sender, send order), then
-// the canonical (edge, seq) sort — matches the sequential engine's exactly.
-// Workers write only to their own receivers' inboxes and their own totals
-// slot; outbox truncation waits for the coordinator after the barrier.
-func (p *workerPool) deliverShard(w int) {
-	r := p.r
-	lo, hi := p.lo[w], p.hi[w]
-	t := &p.totals[w]
-	t.sent, t.units = 0, 0
-	for v := lo; v < hi; v++ {
-		out := r.envs[v].out
-		t.sent += int64(len(out))
-		for i := range out {
-			t.units += payloadUnits(out[i].body)
-		}
-		if r.envs[v].halted {
-			r.inbox[v] = nil // never read again; release the staged payloads
-		} else {
-			clear(r.inbox[v]) // no stale payload refs for quiet receivers
-			r.inbox[v] = r.inbox[v][:0]
-		}
-	}
-	for s := range r.envs {
-		out := r.envs[s].out
-		for i := range out {
-			m := &out[i]
-			to := int(m.to)
-			if to < lo || to >= hi || r.envs[to].halted {
-				continue
-			}
-			r.inbox[to] = append(r.inbox[to], Message{Edge: m.edge, Payload: m.body, seq: int32(i)})
-		}
+		clear(bucket) // no stale payload references in the reused bucket
+		r.stages[ws][w] = bucket[:0]
 	}
 	for v := lo; v < hi; v++ {
 		sortInbox(r.inbox[v])

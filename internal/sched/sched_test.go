@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7} {
+		const n = 103
+		p := NewPool(n, workers)
+		hits := make([]int32, n)
+		for round := 0; round < 3; round++ {
+			p.Dispatch(func(w, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+		}
+		p.Stop()
+		for i, h := range hits {
+			if h != 3 {
+				t.Fatalf("workers=%d: index %d visited %d times, want 3", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestPoolShardOfMatchesRanges(t *testing.T) {
+	p := NewPool(100, 7)
+	owner := make([]int, 100)
+	p.Dispatch(func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			owner[i] = w
+		}
+	})
+	p.Stop()
+	for i, w := range owner {
+		if got := p.ShardOf(i); got != w {
+			t.Fatalf("ShardOf(%d) = %d, but worker %d owns it", i, got, w)
+		}
+	}
+}
+
+func TestPoolEmpty(t *testing.T) {
+	p := NewPool(0, 4)
+	if p.Workers() != 0 {
+		t.Fatalf("empty pool has %d workers", p.Workers())
+	}
+	ran := false
+	p.Dispatch(func(w, lo, hi int) { ran = true }) // must not hang
+	p.Stop()
+	if ran {
+		t.Fatal("dispatch on empty pool ran a worker")
+	}
+}
+
+func TestParallelForFirstError(t *testing.T) {
+	errBoom := errors.New("boom")
+	err := ParallelFor(context.Background(), 50, 4, func(i int) error {
+		if i == 7 || i == 31 {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("got %v, want %v", err, errBoom)
+	}
+}
+
+func TestParallelForCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ParallelFor(ctx, 10, 2, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -12,7 +12,6 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
-	"repro/internal/xrand"
 )
 
 // SimulateRequest is the POST /v1/simulate (and /v1/stream) body: which
@@ -29,17 +28,28 @@ type SimulateRequest struct {
 }
 
 // GraphSpec selects a topology: either a named generator family with its
-// parameters, or an inline edge list. Generated graphs are deterministic in
-// (family, n, deg, seed), so the server can cache them and — more
-// importantly — identical specs from different clients fingerprint
+// parameters, or an inline edge list. Family names resolve through the gen
+// package's Spec registry — the same one behind cmd/simulate's flags — so the
+// two surfaces accept identical vocabularies. Generated graphs are
+// deterministic in the normalized spec, so the server can cache them and —
+// more importantly — identical specs from different clients fingerprint
 // identically and share one engine shard's spanner cache.
 type GraphSpec struct {
-	// Family is one of complete, cycle, path, star, grid, torus, hypercube,
-	// barbell, gnp, tree, regular, or pa. Empty selects the inline Edges.
+	// Family is a gen registry family (gen.FamilyNames()): complete, cycle,
+	// path, star, grid, torus, hypercube, barbell, gnp, gnm, tree, regular,
+	// pa, or expander. Empty selects the inline Edges; edgelist is refused
+	// (the server does not read local files on clients' behalf).
 	Family string  `json:"family,omitempty"`
 	N      int     `json:"n,omitempty"`
-	Deg    float64 `json:"deg,omitempty"` // gnp average degree; regular degree; pa attachment count
+	Deg    float64 `json:"deg,omitempty"` // gnp average degree; regular/expander degree; pa attachment count
 	Seed   uint64  `json:"seed,omitempty"`
+	// P overrides Deg with an explicit edge probability (gnp only).
+	P float64 `json:"p,omitempty"`
+	// M is gnm's exact edge count.
+	M int `json:"m,omitempty"`
+	// Rows and Cols override the square shape derived from N (grid/torus).
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
 
 	// Nodes and Edges define an inline graph: Nodes vertices (0..Nodes-1)
 	// and an undirected edge per [u, v] pair. Edge IDs are assigned in
@@ -166,88 +176,95 @@ func buildInline(spec GraphSpec, maxNodes int) (*graph.Graph, error) {
 	return g, nil
 }
 
-// buildFamily runs the named deterministic generator.
-func buildFamily(spec GraphSpec, maxNodes int) (*graph.Graph, error) {
+// familySpec normalizes the request into a gen.Spec: defaults applied
+// (n=64, deg=8), structural node counts resolved the way the pre-registry
+// server did (grid/torus sides clamped, hypercube dimension rounded), and
+// the server's node budget enforced. The normalized spec — not the raw
+// request — is the cache identity, so requests that denote the same graph
+// share one cache entry.
+func familySpec(spec GraphSpec, maxNodes int) (gen.Spec, error) {
+	family := spec.Family
+	if family == "" {
+		family = "complete"
+	}
+	if family == "edgelist" {
+		return gen.Spec{}, badRequestf("graph: edgelist is CLI-only; POST inline nodes/edges instead")
+	}
 	n := spec.N
 	if n <= 0 {
 		n = 64
 	}
 	if n > maxNodes {
-		return nil, badRequestf("graph: n=%d exceeds the server cap of %d", n, maxNodes)
+		return gen.Spec{}, badRequestf("graph: n=%d exceeds the server cap of %d", n, maxNodes)
 	}
 	deg := spec.Deg
 	if deg <= 0 {
 		deg = 8
 	}
-	rng := xrand.New(spec.Seed) // same seeding as cmd/simulate: identical specs, identical graphs
-	switch spec.Family {
-	case "", "complete":
-		return gen.Complete(n), nil
-	case "cycle":
-		return gen.Cycle(n), nil
-	case "path":
-		return gen.Path(n), nil
-	case "star":
-		return gen.Star(n), nil
-	case "grid":
-		side := int(math.Sqrt(float64(n)))
-		if side < 2 {
-			side = 2
+	out := gen.Spec{Family: family, N: n, Seed: spec.Seed}
+	switch family {
+	case "gnp":
+		out.P = spec.P
+		if spec.P == 0 {
+			out.Degree = deg
 		}
-		return gen.Grid(side, side), nil
-	case "torus":
-		side := int(math.Sqrt(float64(n)))
-		if side < 2 {
-			side = 2
+	case "regular", "pa", "expander":
+		out.Degree = deg
+	case "gnm":
+		out.M = spec.M
+	case "grid", "torus":
+		minSide := 2
+		if family == "torus" {
+			minSide = 3 // below 3 the wraparound duplicates edges
 		}
-		return gen.Torus(side, side), nil
+		rows, cols := spec.Rows, spec.Cols
+		if rows == 0 && cols == 0 {
+			side := int(math.Sqrt(float64(n)))
+			if side < minSide {
+				side = minSide
+			}
+			rows, cols = side, side
+		}
+		if rows > 0 && cols > 0 && rows*cols > maxNodes {
+			return gen.Spec{}, badRequestf("graph: %dx%d exceeds the server cap of %d nodes", rows, cols, maxNodes)
+		}
+		out.N, out.Rows, out.Cols = 0, rows, cols
 	case "hypercube":
 		d := int(math.Round(math.Log2(float64(n))))
 		if d < 1 {
 			d = 1
 		}
-		return gen.Hypercube(d), nil
-	case "barbell":
-		if n < 6 {
-			return nil, badRequestf("graph: barbell needs n >= 6, got %d", n)
-		}
-		return gen.Barbell(n/2, 4), nil
-	case "gnp":
-		if n < 2 {
-			return nil, badRequestf("graph: gnp needs n >= 2, got %d", n)
-		}
-		return gen.Connectify(gen.GNP(n, deg/float64(n-1), rng), rng), nil
-	case "tree":
-		return gen.RandomTree(n, rng), nil
-	case "regular":
-		d := int(deg)
-		if d < 1 || d >= n || n*d%2 != 0 {
-			return nil, badRequestf("graph: regular needs 1 <= deg < n with n*deg even, got n=%d deg=%d", n, d)
-		}
-		return gen.Connectify(gen.RandomRegular(n, d, rng), rng), nil
-	case "pa":
-		m := int(deg)
-		if m < 1 {
-			m = 1
-		}
-		return gen.PreferentialAttachment(n, m, rng), nil
-	default:
-		return nil, badRequestf("graph: unknown family %q", spec.Family)
+		out.N = 1 << d
 	}
+	return out, nil
+}
+
+// buildFamily runs the named deterministic generator via the gen registry.
+func buildFamily(spec GraphSpec, maxNodes int) (*graph.Graph, error) {
+	s, err := familySpec(spec, maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	g, err := gen.Build(s)
+	if err != nil {
+		return nil, badRequestf("graph: %v", err)
+	}
+	return g, nil
 }
 
 // specKey canonicalizes a generated-graph spec for the server's graph
-// cache. Inline graphs return "" (uncached: arbitrary payloads would let
-// clients grow the cache with garbage keys).
-func specKey(spec GraphSpec) string {
+// cache: the normalized gen.Spec's Key. Inline graphs return "" (uncached:
+// arbitrary payloads would let clients grow the cache with garbage keys),
+// as do invalid specs (buildFamily rejects them before caching matters).
+func specKey(spec GraphSpec, maxNodes int) string {
 	if len(spec.Edges) > 0 || spec.Nodes > 0 {
 		return ""
 	}
-	family := spec.Family
-	if family == "" {
-		family = "complete"
+	s, err := familySpec(spec, maxNodes)
+	if err != nil {
+		return ""
 	}
-	return fmt.Sprintf("%s/n=%d/deg=%g/seed=%d", family, spec.N, spec.Deg, spec.Seed)
+	return s.Key()
 }
 
 // buildSpec resolves the algorithm selection, clamping t to maxT.

@@ -305,7 +305,7 @@ func (s *Server) prepare(req *SimulateRequest) (*prepared, *httpError) {
 	if err != nil {
 		return nil, &httpError{http.StatusNotFound, err.Error()}
 	}
-	key := specKey(req.Graph)
+	key := specKey(req.Graph, s.cfg.MaxNodes)
 	g, ok := s.graphs.get(key)
 	if ok {
 		s.graphHits.Add(1)

@@ -51,9 +51,17 @@ func (r *RNG) Uint64() uint64 {
 // the mapping (seed, stream) -> RNG is stable: every node can be handed the
 // same stream on every run regardless of scheduling.
 func (r *RNG) Derive(stream uint64) *RNG {
+	rng := r.Derived(stream)
+	return &rng
+}
+
+// Derived is Derive returning the generator by value, for callers that embed
+// per-node streams in flat arrays (a million-node simulation cannot afford a
+// heap allocation per node's RNG).
+func (r *RNG) Derived(stream uint64) RNG {
 	// Mix the stream ID through two rounds so that adjacent node IDs yield
 	// unrelated streams.
-	return &RNG{state: mix64(r.state+gamma) ^ mix64(stream*gamma+1)}
+	return RNG{state: mix64(r.state+gamma) ^ mix64(stream*gamma+1)}
 }
 
 // Int63 returns a non-negative 63-bit value.
