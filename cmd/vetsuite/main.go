@@ -1,0 +1,278 @@
+// Command vetsuite is the repository's custom vet tool: a multichecker over
+// the freelunchvet analyzers (internal/analysis/...), which machine-enforce
+// the determinism, hot-path, and concurrency contracts that keep every
+// scheme's goldens bit-identical.
+//
+// It speaks the `go vet -vettool` unit-checker protocol, so the normal
+// invocation is through the go command, which handles package loading,
+// export data, and caching:
+//
+//	go build -o /tmp/vetsuite ./cmd/vetsuite
+//	go vet -vettool=/tmp/vetsuite ./...
+//
+// Run `vetsuite help` for the list of analyzers and the contract each one
+// enforces. Findings are suppressed only by an inline //freelunch:* waiver
+// carrying a justification; see internal/analysis/contract.
+//
+// The protocol, in brief: the go command first invokes the tool with
+// -V=full (a content hash used as the analysis cache key) and -flags (the
+// tool's flag inventory), then once per package with a JSON config file
+// argument describing the package's sources and the export data of its
+// dependencies. Diagnostics go to stderr as file:line:col: messages; exit
+// status 2 signals findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/inboxretain"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/noallocpath"
+	"repro/internal/analysis/nowallclock"
+	"repro/internal/analysis/observergoroutine"
+)
+
+// analyzers is the suite, in reporting order.
+var analyzers = []*framework.Analyzer{
+	maporder.Analyzer,
+	nowallclock.Analyzer,
+	noallocpath.Analyzer,
+	observergoroutine.Analyzer,
+	inboxretain.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full":
+			printVersion()
+			return
+		case "-flags":
+			// No tool-specific flags: every analyzer always runs.
+			fmt.Println("[]")
+			return
+		case "help", "-h", "--help":
+			printHelp()
+			return
+		}
+		if strings.HasSuffix(args[0], ".cfg") {
+			os.Exit(checkPackage(args[0]))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "vetsuite: run via `go vet -vettool=$(go build -o /tmp/vetsuite ./cmd/vetsuite && echo /tmp/vetsuite) ./...`, or `vetsuite help`\n")
+	os.Exit(1)
+}
+
+// printVersion emits the tool identity the go command hashes into its
+// analysis cache key. Hashing the executable itself means a rebuilt tool
+// (new or changed analyzers) invalidates cached vet results, while an
+// identical binary reuses them.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%x\n", name, h.Sum(nil))
+}
+
+func printHelp() {
+	fmt.Println("vetsuite: the freelunch contract analyzers")
+	fmt.Println()
+	for _, a := range analyzers {
+		fmt.Printf("  %-18s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("Waive a finding with an inline //freelunch:<kind>ok <justification> comment;")
+	fmt.Println("see internal/analysis/contract for the directive reference.")
+}
+
+// config mirrors the JSON schema the go command writes for a unit-checker
+// invocation (x/tools go/analysis/unitchecker.Config).
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// checkPackage runs the suite over one package per the config file and
+// returns the process exit code.
+func checkPackage(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetsuite: %v\n", err)
+		return 1
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "vetsuite: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The tool keeps no cross-package facts, so dependency passes (the go
+	// command runs them in case the tool needs facts) only have to produce
+	// their (empty) facts file.
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		fmt.Fprintf(os.Stderr, "vetsuite: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "vetsuite: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "vetsuite: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	type finding struct {
+		pos  token.Position
+		name string
+		msg  string
+	}
+	var findings []finding
+	for _, a := range analyzers {
+		pass := &framework.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d framework.Diagnostic) {
+				findings = append(findings, finding{pos: fset.Position(d.Pos), name: a.Name, msg: d.Message})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "vetsuite: analyzer %s: %v\n", a.Name, err)
+			return 1
+		}
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].pos, findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.pos, f.name, f.msg)
+	}
+	return 2
+}
+
+// writeVetx writes the (empty) facts file the go command expects at the
+// configured path.
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, nil, 0o666)
+}
+
+// typecheck type-checks the package. Imports resolve through the export
+// data files the go command listed in the config; if that fails (e.g. an
+// export data format this toolchain's go/importer cannot read), it falls
+// back to re-typechecking dependencies from source, which is slower but
+// needs nothing beyond GOROOT and the module itself.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *config) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tc := &types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		Sizes:     types.SizesFor(compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err == nil {
+		return pkg, info, nil
+	}
+
+	// Fallback: source importer (resolves via go/build + the go command).
+	clear(info.Types)
+	clear(info.Defs)
+	clear(info.Uses)
+	clear(info.Selections)
+	clear(info.Scopes)
+	tc = &types.Config{
+		Importer:  importer.ForCompiler(fset, "source", nil),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, srcErr := tc.Check(cfg.ImportPath, fset, files, info)
+	if srcErr != nil {
+		return nil, nil, err // report the export-data error, it is primary
+	}
+	return pkg, info, nil
+}

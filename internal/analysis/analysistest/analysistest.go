@@ -1,0 +1,244 @@
+// Package analysistest is the fixture-based test harness for the
+// freelunchvet analyzers: a minimal, stdlib-only mirror of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A test calls Run with an analyzer and one or more import paths; each path
+// resolves to a directory under the calling package's testdata/src. The
+// harness parses and type-checks the fixture package, runs the analyzer,
+// and compares its diagnostics against the fixture's expectations: a
+// comment
+//
+//	// want `regex` `regex2` ...
+//
+// on a line declares that the analyzer reports, on that exact line, one
+// diagnostic matching each pattern (double-quoted Go strings work too).
+// Lines without a want comment must produce no diagnostics.
+//
+// Fixture directories mirror real import paths — a fixture under
+// testdata/src/repro/internal/graph type-checks as package path
+// "repro/internal/graph" — so analyzers gated on
+// contract.DeterministicPackages behave identically under test and under
+// cmd/vetsuite. Imports between fixture packages resolve within
+// testdata/src first; everything else (the standard library) falls back to
+// the source importer, which needs only GOROOT.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// Run checks the analyzer against the fixture packages at the given import
+// paths under ./testdata/src.
+func Run(t *testing.T, a *framework.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{
+		fset:  token.NewFileSet(),
+		root:  filepath.Join("testdata", "src"),
+		pkgs:  make(map[string]*types.Package),
+		files: make(map[string][]*ast.File),
+		infos: make(map[string]*types.Info),
+	}
+	// The source importer resolves standard-library imports from GOROOT
+	// source; it shares the fixture fileset so positions stay coherent.
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	for _, path := range pkgPaths {
+		runOne(t, a, l, path)
+	}
+}
+
+func runOne(t *testing.T, a *framework.Analyzer, l *loader, path string) {
+	t.Helper()
+	pkg, err := l.Import(path)
+	if err != nil {
+		t.Fatalf("loading fixture package %q: %v", path, err)
+	}
+	files := l.files[path]
+
+	var diags []framework.Diagnostic
+	pass := &framework.Pass{
+		Analyzer:  a,
+		Fset:      l.fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: l.infos[path],
+		Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s on %q: %v", a.Name, path, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]string)
+	for _, d := range diags {
+		p := l.fset.Position(d.Pos)
+		k := key{p.Filename, p.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	want := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		name := l.fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pats, err := wantPatterns(c.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", l.fset.Position(c.Slash), err)
+				}
+				if len(pats) == 0 {
+					continue
+				}
+				k := key{name, l.fset.Position(c.Slash).Line}
+				want[k] = append(want[k], pats...)
+			}
+		}
+	}
+
+	keys := make(map[key]bool)
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range want {
+		keys[k] = true
+	}
+	ordered := make([]key, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].file != ordered[j].file {
+			return ordered[i].file < ordered[j].file
+		}
+		return ordered[i].line < ordered[j].line
+	})
+	for _, k := range ordered {
+		msgs := append([]string(nil), got[k]...)
+		for _, re := range want[k] {
+			idx := -1
+			for i, m := range msgs {
+				if re.MatchString(m) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %q)", k.file, k.line, re, msgs)
+				continue
+			}
+			msgs = append(msgs[:idx], msgs[idx+1:]...)
+		}
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+}
+
+// wantPatterns parses a "// want `re` `re2`" comment into its compiled
+// patterns; non-want comments return none.
+func wantPatterns(text string) ([]*regexp.Regexp, error) {
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil, nil
+	}
+	var pats []*regexp.Regexp
+	for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+		var raw string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", rest)
+			}
+			raw, rest = rest[1:1+end], rest[2+end:]
+		case '"':
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %q: %v", rest, err)
+			}
+			raw, err = strconv.Unquote(q)
+			if err != nil {
+				return nil, err
+			}
+			rest = rest[len(q):]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted, got %q", rest)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", raw, err)
+		}
+		pats = append(pats, re)
+	}
+	return pats, nil
+}
+
+// loader resolves import paths to fixture packages under root, falling back
+// to the source importer for the standard library.
+type loader struct {
+	fset  *token.FileSet
+	root  string
+	pkgs  map[string]*types.Package
+	files map[string][]*ast.File
+	infos map[string]*types.Info
+	std   types.Importer
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return l.std.Import(path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture dir %s has no .go files", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: l}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	l.files[path] = files
+	l.infos[path] = info
+	return pkg, nil
+}

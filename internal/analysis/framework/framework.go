@@ -1,0 +1,65 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis API surface that this repository's custom
+// analyzers are written against.
+//
+// The real go/analysis module is not vendored here — the repository is
+// deliberately stdlib-only — so this package provides the same shape
+// (Analyzer, Pass, Diagnostic) on top of go/ast and go/types. Analyzers
+// written against it are intentionally source-compatible with x/tools: if
+// the module ever grows a dependency on golang.org/x/tools, each analyzer
+// ports by changing one import line.
+//
+// The two drivers are cmd/vetsuite (the `go vet -vettool` unitchecker
+// protocol, used by CI and local runs) and internal/analysis/analysistest
+// (the fixture-based unit-test harness).
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name, a contract document, and a
+// Run function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and driver flags. By
+	// convention it is a single lowercase word.
+	Name string
+	// Doc states the contract the analyzer enforces, why it exists, and the
+	// waiver syntax, shown by `cmd/vetsuite help`.
+	Doc string
+	// Run executes the check. It reports findings through pass.Report and
+	// returns an error only for analyzer-internal failures (not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass is the single-package unit of work handed to an Analyzer's Run. It
+// carries the parsed syntax, the type information, and the Report sink.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression and object resolution.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. The driver prefixes
+// the message with the analyzer name when printing.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,43 @@
+// Package inboxretain enforces the inbox ownership contract: the message
+// slice a Protocol.Step receives belongs to the simulator and must not
+// outlive the call.
+//
+// # Contract
+//
+// The engine in internal/local reuses each node's inbox backing array across
+// rounds: Step(inbox []Message) hands the protocol a view that the next
+// delivery pass overwrites in place. A protocol that stores the slice — or
+// any subslice aliasing its backing array — into a field, a package-level
+// variable, or an escaping closure reads next round's messages through last
+// round's variable, a corruption that is silent, round-timing-dependent, and
+// (because delivery sharding varies with worker count) can differ between
+// the sequential and concurrent engines.
+//
+// The analyzer looks at every function in the deterministic packages with a
+// []local.Message parameter and flags statements that let the parameter
+// escape by aliasing:
+//
+//   - assigning the parameter (or a subslice of it, inbox[i:j]) to a struct
+//     field or a package-level variable, directly or inside a composite
+//     literal;
+//   - returning it;
+//   - storing or returning a function literal that references it (the
+//     closure keeps the alias alive).
+//
+// Copying is fine and is the sanctioned idiom: copy(dst, inbox) and
+// append(dst, inbox...) duplicate the Message values into protocol-owned
+// storage. Passing the slice down to an ordinary call is also fine — the
+// analysis assumes callees are synchronous and do not retain (they are
+// themselves subject to this check when they live in the deterministic
+// packages).
+//
+// # Waiver
+//
+// A store the analyzer misreads (e.g. into a scratch structure that is
+// provably cleared before Step returns) carries an inline justification:
+//
+//	s.scratch = inbox //freelunch:retainok cleared before return, never crosses rounds
+//
+// (or the comment on the line directly above). The reason text is
+// mandatory; a bare waiver is itself reported.
+package inboxretain

@@ -1,0 +1,178 @@
+package inboxretain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/contract"
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer flags stores that let a delivered inbox slice outlive its Step
+// call. See the package documentation for the contract.
+var Analyzer = &framework.Analyzer{
+	Name: "inboxretain",
+	Doc:  "forbid retaining delivered inbox slices ([]local.Message parameters) in fields, globals, or escaping closures",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if !contract.Deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if contract.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		waivers := contract.FileWaivers(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inboxes := inboxParams(pass, fd)
+			if len(inboxes) == 0 {
+				continue
+			}
+			c := &checker{pass: pass, waivers: waivers, inboxes: inboxes}
+			c.check(fd.Body)
+		}
+	}
+	return nil
+}
+
+// inboxParams collects the function's parameters of type []local.Message.
+func inboxParams(pass *framework.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	inboxes := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isInboxType(obj.Type()) {
+				inboxes[obj] = true
+			}
+		}
+	}
+	if len(inboxes) == 0 {
+		return nil
+	}
+	return inboxes
+}
+
+// isInboxType reports whether t is []Message for the engine's Message type
+// (the named type Message in repro/internal/local).
+func isInboxType(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Message" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "repro/internal/local"
+}
+
+type checker struct {
+	pass    *framework.Pass
+	waivers *contract.Waivers
+	inboxes map[types.Object]bool
+}
+
+func (c *checker) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break // f() multi-assign cannot carry the parameter
+				}
+				if !c.aliases(rhs) {
+					continue
+				}
+				if sink := c.sinkKind(n.Lhs[i]); sink != "" {
+					c.reportf(rhs.Pos(), "inbox slice stored into %s: the simulator reuses its backing array next round (copy the messages instead)", sink)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if c.aliases(res) {
+					c.reportf(res.Pos(), "inbox slice returned: it aliases simulator-owned storage that the next round overwrites")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// aliases reports whether e's value aliases an inbox parameter: the
+// parameter itself, a subslice of it, a composite literal embedding one, or
+// a function literal that references one.
+func (c *checker) aliases(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return c.inboxes[c.pass.TypesInfo.Uses[x]]
+	case *ast.SliceExpr:
+		return c.aliases(x.X)
+	case *ast.ParenExpr:
+		return c.aliases(x.X)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if c.aliases(elt) {
+				return true
+			}
+		}
+		return false
+	case *ast.UnaryExpr:
+		return x.Op == token.AND && c.aliases(x.X)
+	case *ast.FuncLit:
+		found := false
+		ast.Inspect(x.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && c.inboxes[c.pass.TypesInfo.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	default:
+		return false
+	}
+}
+
+// sinkKind classifies an assignment target that outlives the call: a struct
+// field or a package-level variable. Local variables return "" — the alias
+// dies with the frame (modulo closures, which aliases handles at their own
+// store site).
+func (c *checker) sinkKind(lhs ast.Expr) string {
+	switch x := lhs.(type) {
+	case *ast.SelectorExpr:
+		return "field " + x.Sel.Name
+	case *ast.IndexExpr:
+		return c.sinkKind(x.X)
+	case *ast.StarExpr:
+		return c.sinkKind(x.X)
+	case *ast.Ident:
+		v, ok := c.pass.TypesInfo.Uses[x].(*types.Var)
+		if ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return "package-level variable " + v.Name()
+		}
+		return ""
+	default:
+		return ""
+	}
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	if d, ok := c.waivers.At(pos, "retainok"); ok {
+		if d.Reason == "" {
+			c.pass.Reportf(pos, "freelunch:retainok waiver needs a justification")
+		}
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}

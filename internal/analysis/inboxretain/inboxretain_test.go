@@ -1,0 +1,15 @@
+package inboxretain_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/inboxretain"
+)
+
+func TestInboxRetain(t *testing.T) {
+	analysistest.Run(t, inboxretain.Analyzer,
+		"repro/internal/spanner", // gated: retention, copies, waivers
+		"example.com/ungated",    // ungated: retention is legitimate
+	)
+}

@@ -1,0 +1,12 @@
+// Package ungated is outside contract.DeterministicPackages: test harnesses
+// and tooling may hold onto message slices they own, so nothing is flagged.
+package ungated
+
+import "repro/internal/local"
+
+var captured []local.Message
+
+func capture(inbox []local.Message) []local.Message {
+	captured = inbox
+	return inbox
+}

@@ -1,0 +1,17 @@
+// Package local is the inboxretain fixture's stand-in for the engine
+// package: the analyzer identifies inbox parameters by the named type
+// repro/internal/local.Message, which this fixture provides at the real
+// import path.
+package local
+
+// Message mirrors the engine's delivered-message record.
+type Message struct {
+	Edge    int
+	Payload any
+}
+
+// Env mirrors the protocol-facing environment handle.
+type Env struct{}
+
+// Halt mirrors the engine API.
+func (e *Env) Halt() {}

@@ -1,0 +1,76 @@
+// Package spanner is an inboxretain fixture mirroring the gated import
+// path repro/internal/spanner: protocols here receive simulator-owned
+// inbox slices and must not retain them.
+package spanner
+
+import "repro/internal/local"
+
+var lastInbox []local.Message
+
+type node struct {
+	saved  []local.Message
+	replay func() int
+	buf    []local.Message
+	count  int
+}
+
+type record struct {
+	msgs []local.Message
+}
+
+// retains stores aliases of the inbox: every store is flagged.
+func (nd *node) retains(env *local.Env, round int, inbox []local.Message) {
+	nd.saved = inbox                             // want `stored into field saved`
+	nd.saved = inbox[1:]                         // want `stored into field saved`
+	lastInbox = inbox                            // want `stored into package-level variable lastInbox`
+	nd.replay = func() int { return len(inbox) } // want `stored into field replay`
+}
+
+// embeds hides the alias inside a composite literal: stores to outliving
+// sinks are still flagged. (The assignment to the local r is not — the
+// check is flow-insensitive and trusts locals to die with the frame.)
+func (nd *node) embeds(env *local.Env, round int, inbox []local.Message) {
+	var r record
+	r = record{msgs: inbox}
+	_ = r
+	recs[0] = record{msgs: inbox} // want `stored into package-level variable recs`
+}
+
+var recs [1]record
+
+// leaks returns the inbox: flagged.
+func leaks(inbox []local.Message) []local.Message {
+	return inbox // want `inbox slice returned`
+}
+
+// copies duplicates the messages into protocol-owned storage: the
+// sanctioned idiom, no findings.
+func (nd *node) copies(env *local.Env, round int, inbox []local.Message) {
+	nd.buf = append(nd.buf[:0], inbox...)
+	nd.count += len(inbox)
+	for _, m := range inbox {
+		if m.Edge > 0 {
+			nd.count++
+		}
+	}
+	inspect(inbox) // synchronous callees may look, they are checked themselves
+}
+
+func inspect(inbox []local.Message) {
+	for range inbox {
+	}
+}
+
+// waived carries a justified waiver: suppressed.
+func (nd *node) waived(env *local.Env, round int, inbox []local.Message) {
+	//freelunch:retainok scratch view, cleared before Step returns below
+	nd.saved = inbox
+	nd.saved = nil
+}
+
+// bareWaiver omits the justification: the waiver itself is reported.
+func (nd *node) bareWaiver(env *local.Env, round int, inbox []local.Message) {
+	//freelunch:retainok
+	nd.saved = inbox // want `waiver needs a justification`
+	nd.saved = nil
+}

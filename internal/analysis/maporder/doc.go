@@ -1,0 +1,54 @@
+// Package maporder flags range statements over maps in the deterministic
+// packages whose loop bodies could leak Go's randomized map iteration order
+// into simulation outputs.
+//
+// # Contract
+//
+// Every scheme in this repository is pinned bit-identical by golden files,
+// and the free-lunch comparison is only meaningful because each scheme's
+// bill is a deterministic function of (graph, seed, options). Go randomizes
+// map iteration order per run, so a `for k := range m` whose body's effect
+// depends on visit order silently produces different executions on
+// different runs — the exact bug class PR 8 fixed in preferentialAttachment,
+// where edges were emitted in map order and graph fingerprints (cache
+// identities) differed across processes.
+//
+// # What is allowed without a waiver
+//
+// A range over a map is reported unless the analyzer can see the body is
+// order-insensitive. Recognized order-insensitive forms ("commutative
+// sinks"):
+//
+//   - integer counter accumulation: x++, x--, x += e, x -= e, x |= e,
+//     x &= e, x ^= e, x *= e (integer-typed only: float accumulation
+//     rounds differently per order, string += concatenates in order);
+//   - idempotent set writes: m2[k] = <constant> (conflicting keys write
+//     equal values, so order cannot matter);
+//   - keyed writes: m2[<expr containing the range key>] = rhs where rhs
+//     does not mention m2 (range keys are unique, so each iteration writes
+//     a distinct key; the self-reference exclusion rejects accumulating
+//     forms like m2[k] = append(m2[k], v), which build order-dependent
+//     slices — the preferentialAttachment shape);
+//   - := definitions with call-free right-hand sides (per-iteration locals
+//     cannot escape the body);
+//   - delete(m2, k), continue, and if/else or nested range statements whose
+//     conditions are call-free (len/cap and conversions excepted — a call
+//     could consume shared state, e.g. an RNG stream) and whose bodies
+//     recursively satisfy these rules;
+//   - collect-then-sort: the body only appends to one local slice, and the
+//     statement immediately after the range sorts that slice (slices.Sort*,
+//     sort.Slice, sort.Sort, sort.Ints, ...).
+//
+// Everything else — above all sending messages (env.Send), appending to
+// slices that are returned or stored, and early break — is reported.
+//
+// # Waiver
+//
+// A range whose order-insensitivity the analyzer cannot see carries an
+// inline justification:
+//
+//	for v := range m { ... } //freelunch:orderok <why order cannot leak>
+//
+// (or the comment on the line directly above the range statement). The
+// reason text is mandatory; a bare waiver is itself reported.
+package maporder

@@ -1,0 +1,15 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer,
+		"repro/internal/graph/gen", // gated: flagged, sink, and waived forms
+		"example.com/ungated",      // ungated: identical code, no findings
+	)
+}

@@ -1,0 +1,11 @@
+// Package ungated is outside contract.DeterministicPackages: map order is
+// legitimate here (reporting and serving layers), so nothing is flagged.
+package ungated
+
+func emitInMapOrder(m map[int]int) []int {
+	var out []int
+	for k, v := range m {
+		out = append(out, k, v)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+// Package gen is a maporder fixture mirroring the gated import path
+// repro/internal/graph/gen. The flagged cases include the exact shape of
+// the preferentialAttachment map-order bug PR 8 fixed: emitting edges in
+// map-iteration order made graph fingerprints differ across processes.
+package gen
+
+import (
+	"slices"
+	"sort"
+)
+
+type edge struct{ u, v int }
+
+// prefAttachRegression reproduces the historical bug shape: picks were
+// tracked in a map and edges emitted by ranging over it.
+func prefAttachRegression(picks map[int]int) []edge {
+	var out []edge
+	for v, m := range picks { // want `range over map in deterministic package`
+		for i := 0; i < m; i++ {
+			out = append(out, edge{u: v, v: i})
+		}
+	}
+	return out
+}
+
+// selfAppendAccumulator is the order-dependent keyed-write form: the RHS
+// reads the written map back, so colliding slices build in visit order.
+func selfAppendAccumulator(m map[int][]int) map[int][]int {
+	grouped := make(map[int][]int)
+	for k, vs := range m { // want `range over map in deterministic package`
+		grouped[k%2] = append(grouped[k%2], vs...)
+	}
+	return grouped
+}
+
+// earlyBreak exposes order through which key is visited first.
+func earlyBreak(m map[int]bool) int {
+	found := -1
+	for k := range m { // want `range over map in deterministic package`
+		found = k
+		break
+	}
+	return found
+}
+
+// floatAccumulate rounds differently per visit order.
+func floatAccumulate(m map[int]float64) float64 {
+	var sum float64
+	for _, x := range m { // want `range over map in deterministic package`
+		sum += x
+	}
+	return sum
+}
+
+// counters only feeds integer accumulation: order-insensitive, no finding.
+func counters(m map[int]int) (int, int) {
+	n, mask := 0, 0
+	for k, v := range m {
+		n += v
+		n++
+		mask |= k
+	}
+	return n, mask
+}
+
+// setWrites only performs idempotent constant and keyed writes.
+func setWrites(m map[int]int) (map[int]bool, map[int]int) {
+	seen := make(map[int]bool)
+	double := make(map[int]int)
+	for k, v := range m {
+		seen[k] = true
+		double[k] = v * 2
+	}
+	return seen, double
+}
+
+// guarded mixes pure conditions, := defines, continue, delete, and nested
+// ranges — all recognized sinks.
+func guarded(m map[int]map[int]int, drop map[int]bool, limits map[int]int) map[int]bool {
+	out := make(map[int]bool)
+	for k, inner := range m {
+		if len(inner) == 0 {
+			continue
+		}
+		if lim, ok := limits[k]; ok && lim > 0 {
+			out[k] = true
+		}
+		for j := range inner {
+			delete(drop, j)
+		}
+	}
+	return out
+}
+
+// collectThenSort erases the order before anyone can observe it.
+func collectThenSort(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// collectThenSortFunc uses package sort instead of slices.
+func collectThenSortFunc(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectNoSort looks like collection but never sorts: flagged.
+func collectNoSort(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // want `range over map in deterministic package`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// waived carries a justified waiver: suppressed.
+func waived(m map[int]int) int {
+	best := -1
+	//freelunch:orderok max-reduction, result independent of visit order
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// bareWaiver omits the justification: the waiver itself is reported.
+func bareWaiver(m map[int]int) int {
+	best := -1
+	//freelunch:orderok
+	for _, v := range m { // want `waiver needs a justification`
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,46 @@
+// Package noallocpath checks functions annotated //freelunch:noalloc for
+// source-level constructs that heap-allocate.
+//
+// # Contract
+//
+// The simulation's hot paths — Env.Send staging, delivery fan-out, CSR
+// adjacency lookups, gossip arrival tracking — run once per message per
+// round and are sized so that a steady-state round performs zero heap
+// allocations (the busy-round allocation regression tests in
+// internal/local pin this). The annotation makes the intent machine-checked:
+// a function whose doc comment carries
+//
+//	//freelunch:noalloc
+//
+// is scanned for the constructs that allocate (or, for interface boxing and
+// fmt, almost always allocate):
+//
+//   - make and new;
+//   - slice and map composite literals, and &T{...} (an escaping struct);
+//   - append whose destination slice does not come from a parameter — growth
+//     of anything else is the function's own allocation, not the caller's
+//     amortized buffer;
+//   - calls into fmt or errors (formatting boxes and allocates);
+//   - capturing function literals (a closure over local state allocates when
+//     it escapes, and every func literal passed to another function must be
+//     assumed to);
+//   - interface boxing: passing or converting a concrete, non-pointer-free
+//     value where an interface is expected.
+//
+// Arguments of panic(...) calls are exempt: a panicking hot path has already
+// failed, so the cost of formatting its message is irrelevant.
+//
+// The check is syntactic, deliberately stricter than the escape analysis the
+// compiler actually performs: a flagged construct the optimizer provably
+// keeps on the stack can be waived.
+//
+// # Waiver
+//
+// A deliberate, amortized, or provably non-escaping allocation carries an
+// inline justification:
+//
+//	*bucket = append(*bucket, m) //freelunch:allocok amortized: buffer reused across rounds
+//
+// (or the comment on the line directly above). The reason text is
+// mandatory; a bare waiver is itself reported.
+package noallocpath

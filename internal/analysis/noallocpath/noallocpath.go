@@ -1,0 +1,275 @@
+package noallocpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/contract"
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer checks //freelunch:noalloc-annotated functions for allocating
+// constructs. See the package documentation for the contract.
+var Analyzer = &framework.Analyzer{
+	Name: "noallocpath",
+	Doc:  "check //freelunch:noalloc-annotated functions for allocating constructs (make/new, literals, append growth, fmt, capturing closures, boxing)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if contract.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		waivers := contract.FileWaivers(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !contract.FuncAnnotated(fd, "noalloc") {
+				continue
+			}
+			c := &checker{pass: pass, waivers: waivers, params: paramObjs(pass, fd)}
+			c.check(fd.Body)
+		}
+	}
+	return nil
+}
+
+// paramObjs collects the function's parameter objects (not the receiver:
+// growing receiver-owned storage is still this function's allocation).
+func paramObjs(pass *framework.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	return params
+}
+
+type checker struct {
+	pass    *framework.Pass
+	waivers *contract.Waivers
+	params  map[types.Object]bool
+	// funcLit is the innermost enclosing func literal, so capture analysis
+	// knows which scope an identifier must escape to count as captured.
+	funcLit *ast.FuncLit
+}
+
+func (c *checker) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPanic(c.pass, n) {
+				return false // a panicking hot path has already failed
+			}
+			c.checkCall(n)
+		case *ast.CompositeLit:
+			switch c.typeOf(n).(type) {
+			case *types.Slice, *types.Map:
+				c.reportf(n.Pos(), "%s literal allocates", describeLit(c.typeOf(n)))
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.reportf(n.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.FuncLit:
+			if cap := c.captured(n); cap != nil {
+				c.reportf(n.Pos(), "func literal captures %q: a capturing closure allocates when it escapes", cap.Name())
+			}
+			// Check the literal's own body with its own capture scope.
+			inner := &checker{pass: c.pass, waivers: c.waivers, params: c.params, funcLit: n}
+			inner.check(n.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating calls: make/new, fmt/errors, append growth of a
+// non-parameter slice, and interface boxing of concrete arguments.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				c.reportf(call.Pos(), "%s allocates", b.Name())
+			case "append":
+				if len(call.Args) > 0 && !c.fromParam(call.Args[0]) {
+					c.reportf(call.Pos(), "append grows a non-parameter slice (not the caller's amortized buffer)")
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: allocates only when the target is an interface.
+		if isInterface(tv.Type) && len(call.Args) == 1 && !c.isInterfaceValue(call.Args[0]) {
+			c.reportf(call.Pos(), "conversion to %s boxes its operand", tv.Type)
+		}
+		return
+	}
+	if pkg := calleePkg(c.pass, call); pkg == "fmt" || pkg == "errors" {
+		c.reportf(call.Pos(), "call into %s formats and allocates", pkg)
+		return
+	}
+	c.checkBoxing(call)
+}
+
+// checkBoxing flags concrete values passed where the callee expects an
+// interface.
+func (c *checker) checkBoxing(call *ast.CallExpr) {
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isInterface(pt) && !c.isInterfaceValue(arg) {
+			c.reportf(arg.Pos(), "argument boxes into interface %s", pt)
+		}
+	}
+}
+
+// captured returns a variable the func literal closes over (declared in the
+// enclosing function, used inside the literal), or nil.
+func (c *checker) captured(lit *ast.FuncLit) *types.Var {
+	var found *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.Pkg() == nil || v.IsField() {
+			return true
+		}
+		// Captured = declared outside the literal but inside some function
+		// (package-level vars are not captures).
+		if v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = v
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// fromParam reports whether the expression is a parameter slice (peeling
+// *x, x[i], x[i:j] — but not x.f: a field of a parameter struct is that
+// struct's storage, and growing it is this function's allocation).
+func (c *checker) fromParam(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return c.params[c.pass.TypesInfo.Uses[x]]
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func (c *checker) isInterfaceValue(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return true // unresolved: stay quiet
+	}
+	if tv.IsNil() {
+		return true // nil boxes to a zero word, no allocation
+	}
+	return isInterface(tv.Type)
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	t := c.pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	if d, ok := c.waivers.At(pos, "allocok"); ok {
+		if d.Reason == "" {
+			c.pass.Reportf(pos, "freelunch:allocok waiver needs a justification")
+		}
+		return
+	}
+	c.pass.Reportf(pos, "noalloc function: "+format, args...)
+}
+
+func isPanic(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func describeLit(t types.Type) string {
+	switch t.(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+// calleePkg returns the import path of the called function's package, or ""
+// when the callee is not a resolvable package-level function or method.
+func calleePkg(pass *framework.Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return ""
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Pkg() != nil {
+		return obj.Pkg().Path()
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package noallocpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noallocpath"
+)
+
+func TestNoAllocPath(t *testing.T) {
+	analysistest.Run(t, noallocpath.Analyzer, "example.com/hot")
+}

@@ -1,0 +1,113 @@
+// Package hot is a noallocpath fixture. The analyzer is annotation-driven,
+// so the package needs no special import path.
+package hot
+
+import (
+	"fmt"
+	"sort"
+)
+
+type item struct{ k, v int }
+
+type table struct {
+	rows []item
+	name string
+}
+
+//freelunch:noalloc
+func makes(n int) []int {
+	s := make([]int, n) // want `make allocates`
+	p := new(item)      // want `new allocates`
+	_ = p
+	return s
+}
+
+//freelunch:noalloc
+func literals() ([]int, map[int]bool, *item) {
+	s := []int{1, 2, 3}        // want `slice literal allocates`
+	m := map[int]bool{1: true} // want `map literal allocates`
+	p := &item{k: 1}           // want `&composite literal escapes`
+	return s, m, p
+}
+
+// valueLiteral is a plain struct value: no allocation, no finding.
+//
+//freelunch:noalloc
+func valueLiteral() item {
+	return item{k: 1, v: 2}
+}
+
+//freelunch:noalloc
+func appendGrowth(t *table, buf []item, it item) []item {
+	t.rows = append(t.rows, it) // want `append grows a non-parameter slice`
+	buf = append(buf, it)       // parameter buffer: the caller's amortized cost
+	return buf
+}
+
+//freelunch:noalloc
+func formatting(t *table) string {
+	return fmt.Sprintf("table %s", t.name) // want `call into fmt`
+}
+
+// panicPath may format its death message: a panicking hot path has already
+// failed.
+//
+//freelunch:noalloc
+func panicPath(t *table, i int) item {
+	if i >= len(t.rows) {
+		panic(fmt.Sprintf("hot: index %d out of range", i))
+	}
+	return t.rows[i]
+}
+
+//freelunch:noalloc
+func closures(t *table, k int) int {
+	i := sort.Search(len(t.rows), func(i int) bool { // want `func literal captures`
+		return t.rows[i].k >= k
+	})
+	return i
+}
+
+// nonCapturing passes a closure over its own parameters only: static, no
+// allocation.
+//
+//freelunch:noalloc
+func nonCapturing(xs []int) bool {
+	return all(xs, func(x int) bool { return x >= 0 })
+}
+
+func all(xs []int, ok func(int) bool) bool {
+	for _, x := range xs {
+		if !ok(x) {
+			return false
+		}
+	}
+	return true
+}
+
+func sink(v any) {}
+
+//freelunch:noalloc
+func boxing(n int, e error) {
+	sink(n)    // want `argument boxes into interface`
+	sink(e)    // already an interface: no box
+	sink(nil)  // nil boxes to a zero word
+	_ = any(n) // want `conversion to .* boxes`
+}
+
+// unannotated allocates freely: the contract is opt-in.
+func unannotated() []int {
+	return append([]int{1}, make([]int, 4)...)
+}
+
+//freelunch:noalloc
+func waived(t *table, it item) {
+	//freelunch:allocok amortized: rows is truncated and reused by the caller
+	t.rows = append(t.rows, it)
+}
+
+//freelunch:noalloc
+func bareWaiver(t *table, it item) {
+	//freelunch:allocok
+	t.rows = append(t.rows, it) // want `waiver needs a justification`
+}

@@ -1,0 +1,29 @@
+// Package nowallclock rejects wall-clock reads and global randomness in the
+// deterministic packages.
+//
+// # Contract
+//
+// Every run in the deterministic packages (see contract.DeterministicPackages)
+// must be a bit-identical function of (graph, seed, options). Two stdlib
+// facilities silently break that:
+//
+//   - time.Now / time.Since / time.Until read the wall clock, so any value
+//     derived from them differs between runs;
+//   - math/rand and math/rand/v2 package-level functions draw from a global,
+//     program-wide stream (auto-seeded since Go 1.20), and even seeded
+//     rand.New sources are banned in favor of the repository's own
+//     internal/xrand, whose per-node derived streams are what keep the two
+//     engines bit-identical.
+//
+// Simulation code that needs time limits takes a context deadline (the
+// engine's WithDeadline plumbs one in); code that needs randomness takes an
+// *xrand.RNG or derives one from the run seed.
+//
+// # Waiver
+//
+// A deliberate exception carries an inline justification:
+//
+//	t := time.Now() //freelunch:clockok <why this cannot leak into outputs>
+//
+// The reason text is mandatory; a bare waiver is itself reported.
+package nowallclock

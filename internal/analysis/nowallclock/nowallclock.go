@@ -1,0 +1,79 @@
+package nowallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/contract"
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer flags wall-clock reads and global math/rand use in the
+// deterministic packages. See the package documentation for the contract.
+var Analyzer = &framework.Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid time.Now/Since/Until and math/rand in deterministic packages (use seeded internal/xrand and ctx deadlines)",
+	Run:  run,
+}
+
+// clockFuncs are the wall-clock reads in package time. Duration arithmetic
+// and constants are fine — only reading the clock is nondeterministic.
+var clockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// randPkgs are the globally seeded randomness packages, banned wholesale in
+// favor of internal/xrand.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func run(pass *framework.Pass) error {
+	if !contract.Deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if contract.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		waivers := contract.FileWaivers(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			var msg string
+			switch pkg := obj.Pkg().Path(); {
+			case pkg == "time" && clockFuncs[obj.Name()] && isPkgFunc(obj):
+				msg = "wall-clock read time." + obj.Name() + " in deterministic package (take a ctx deadline instead)"
+			case randPkgs[pkg]:
+				msg = "global math/rand (" + pkg + "." + obj.Name() + ") in deterministic package (use seeded internal/xrand)"
+			default:
+				return true
+			}
+			if d, ok := waivers.At(id.Pos(), "clockok"); ok {
+				if d.Reason == "" {
+					pass.Reportf(id.Pos(), "freelunch:clockok waiver needs a justification")
+				}
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s", msg)
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is a package-level function (not a method
+// or field that happens to share a clock function's name).
+func isPkgFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Type().(*types.Signature).Recv() == nil
+}

@@ -1,0 +1,15 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nowallclock"
+)
+
+func TestNoWallClock(t *testing.T) {
+	analysistest.Run(t, nowallclock.Analyzer,
+		"repro/internal/simulate", // gated: clock reads, math/rand, waivers
+		"example.com/ungated",     // ungated: wall clock is legitimate
+	)
+}

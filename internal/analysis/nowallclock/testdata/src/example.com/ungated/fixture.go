@@ -1,0 +1,12 @@
+// Package ungated is outside contract.DeterministicPackages: serving and
+// reporting layers may read the wall clock, so nothing is flagged.
+package ungated
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timestamps() (time.Time, int) {
+	return time.Now(), rand.Intn(10)
+}

@@ -1,0 +1,49 @@
+// Package simulate is a nowallclock fixture mirroring the gated import path
+// repro/internal/simulate.
+package simulate
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func wallClock() (time.Time, time.Duration) {
+	start := time.Now()                // want `wall-clock read time\.Now`
+	elapsed := time.Since(start)       // want `wall-clock read time\.Since`
+	_ = time.Until(start.Add(elapsed)) // want `wall-clock read time\.Until`
+	return start, elapsed
+}
+
+func globalRand() (int, uint64) {
+	a := rand.Intn(10)       // want `global math/rand`
+	b := randv2.Uint64()     // want `global math/rand`
+	src := rand.NewSource(1) // want `global math/rand`
+	_ = rand.New(src)        // want `global math/rand`
+	return a, b
+}
+
+// durations only does clock-free time arithmetic: no findings.
+func durations(d time.Duration) time.Duration {
+	return 2*d + 500*time.Millisecond
+}
+
+// clock is a type whose methods shadow the banned names; calling them is
+// fine — only package time's functions read the wall clock.
+type clock struct{}
+
+func (clock) Now() int       { return 0 }
+func (clock) Since(int) int  { return 0 }
+func methodsNotFlagged() int { var c clock; return c.Now() + c.Since(1) }
+
+// waived carries a justified waiver: suppressed.
+func waived() time.Time {
+	//freelunch:clockok measurement-only scaffolding, value never reaches outputs
+	return time.Now()
+}
+
+// bareWaiver omits the justification: the waiver itself is reported.
+func bareWaiver() time.Time {
+	//freelunch:clockok
+	return time.Now() // want `waiver needs a justification`
+}

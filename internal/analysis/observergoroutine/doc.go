@@ -1,0 +1,36 @@
+// Package observergoroutine enforces the observer threading contract:
+// observer hooks fire only on a run's coordinating goroutine.
+//
+// # Contract
+//
+// The Observer API (RoundCompleted / PhaseCompleted, and the ObserverFuncs
+// adapters OnRound / OnPhase) promises callers that, within a single Run,
+// callbacks are never invoked concurrently with each other. That promise is
+// what lets the ready-made MetricsSink and user observers stay lock-free for
+// the single-run case. The engine keeps it by invoking hooks only from the
+// coordinating goroutine — never from delivery workers.
+//
+// This analyzer rejects hook invocations that structurally break the
+// promise:
+//
+//   - inside a go statement (directly, or anywhere in a function literal the
+//     go statement starts);
+//   - inside a function literal passed to a worker-pool dispatcher
+//     (sched.Pool.Dispatch, sched.ParallelFor) — those bodies run on pool
+//     workers, concurrently.
+//
+// The check is name-based over the hook set {RoundCompleted, PhaseCompleted,
+// OnRound, OnPhase} and runs over all packages: the contract binds every
+// layer that holds an observer, including serving code.
+//
+// # Waiver
+//
+// An invocation that is provably serialized (e.g. a pool run with one
+// worker, or a hook guarded by the run's own mutex) carries an inline
+// justification:
+//
+//	obs.RoundCompleted(ph, r, n) //freelunch:observerok <why this is serialized>
+//
+// (or the comment on the line directly above). The reason text is
+// mandatory; a bare waiver is itself reported.
+package observergoroutine

@@ -1,0 +1,92 @@
+package observergoroutine
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/contract"
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer flags observer hook calls inside go statements or worker-pool
+// bodies. See the package documentation for the contract.
+var Analyzer = &framework.Analyzer{
+	Name: "observergoroutine",
+	Doc:  "forbid observer hook calls (RoundCompleted/PhaseCompleted/OnRound/OnPhase) inside go statements and worker-pool bodies",
+	Run:  run,
+}
+
+// hookNames are the Observer interface methods and their ObserverFuncs
+// adapters.
+var hookNames = map[string]bool{
+	"RoundCompleted": true,
+	"PhaseCompleted": true,
+	"OnRound":        true,
+	"OnPhase":        true,
+}
+
+// dispatchers are the worker-pool entry points whose function-literal
+// arguments run on pool workers.
+var dispatchers = map[string]bool{
+	"Dispatch":    true, // sched.Pool.Dispatch
+	"ParallelFor": true, // sched.ParallelFor
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if contract.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		waivers := contract.FileWaivers(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				flagHooks(pass, waivers, n.Call, "inside a go statement")
+				return false
+			case *ast.CallExpr:
+				if name, ok := calleeName(n); ok && dispatchers[name] {
+					for _, arg := range n.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							flagHooks(pass, waivers, lit.Body, "in a worker-pool body ("+name+")")
+						}
+					}
+					// Keep walking: non-literal args may nest further calls.
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// flagHooks reports every hook invocation under root.
+func flagHooks(pass *framework.Pass, waivers *contract.Waivers, root ast.Node, where string) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := calleeName(call)
+		if !ok || !hookNames[name] {
+			return true
+		}
+		if d, ok := waivers.At(call.Pos(), "observerok"); ok {
+			if d.Reason == "" {
+				pass.Reportf(call.Pos(), "freelunch:observerok waiver needs a justification")
+			}
+			return true
+		}
+		pass.Reportf(call.Pos(), "observer hook %s called %s: hooks must fire on the coordinating goroutine only", name, where)
+		return true
+	})
+}
+
+// calleeName extracts the called method or function name.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name, true
+	case *ast.SelectorExpr:
+		return fn.Sel.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,12 @@
+package observergoroutine_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/observergoroutine"
+)
+
+func TestObserverGoroutine(t *testing.T) {
+	analysistest.Run(t, observergoroutine.Analyzer, "example.com/engine")
+}

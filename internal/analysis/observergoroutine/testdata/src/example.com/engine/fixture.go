@@ -1,0 +1,86 @@
+// Package engine is an observergoroutine fixture. The hook-threading
+// contract binds every package, so the fixture needs no special import
+// path.
+package engine
+
+type observer interface {
+	RoundCompleted(phase string, round int, messages int64)
+	PhaseCompleted(rounds int)
+}
+
+type funcs struct {
+	OnRound func(phase string, round int, messages int64)
+	OnPhase func(rounds int)
+}
+
+type pool struct{}
+
+func (pool) Dispatch(fn func(w, lo, hi int)) { fn(0, 0, 0) }
+
+func parallelFor(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// ParallelFor mirrors sched.ParallelFor's name for the dispatcher check.
+func ParallelFor(n int, fn func(i int)) { parallelFor(n, fn) }
+
+// coordinating calls hooks inline on the coordinating goroutine: fine.
+func coordinating(obs observer, f funcs) {
+	obs.RoundCompleted("direct", 1, 10)
+	obs.PhaseCompleted(1)
+	if f.OnRound != nil {
+		f.OnRound("direct", 1, 10)
+	}
+}
+
+// spawned fires hooks from spawned goroutines: flagged.
+func spawned(obs observer, f funcs, done chan struct{}) {
+	go obs.RoundCompleted("direct", 1, 10) // want `inside a go statement`
+	go func() {
+		obs.PhaseCompleted(1) // want `inside a go statement`
+		f.OnPhase(1)          // want `inside a go statement`
+		close(done)
+	}()
+}
+
+// pooled fires hooks from worker-pool bodies: flagged.
+func pooled(p pool, obs observer) {
+	p.Dispatch(func(w, lo, hi int) {
+		obs.RoundCompleted("direct", lo, int64(hi)) // want `in a worker-pool body`
+	})
+	ParallelFor(4, func(i int) {
+		obs.PhaseCompleted(i) // want `in a worker-pool body`
+	})
+}
+
+// poolAggregates shows the sanctioned shape: workers fill slots, the
+// coordinating goroutine reduces and fires the hook afterwards.
+func poolAggregates(p pool, obs observer) {
+	var totals [4]int64
+	p.Dispatch(func(w, lo, hi int) {
+		totals[w] += int64(hi - lo)
+	})
+	var sum int64
+	for _, t := range totals {
+		sum += t
+	}
+	obs.RoundCompleted("direct", 1, sum)
+}
+
+// waived carries a justified waiver: suppressed.
+func waived(obs observer) {
+	ParallelFor(1, func(i int) {
+		//freelunch:observerok single-worker pool, invocations are serialized
+		obs.PhaseCompleted(i)
+	})
+}
+
+// bareWaiver omits the justification: the waiver itself is reported.
+func bareWaiver(obs observer) {
+	ParallelFor(1, func(i int) {
+		//freelunch:observerok
+		obs.PhaseCompleted(i) // want `waiver needs a justification`
+	})
+}

@@ -215,6 +215,8 @@ func newArrivalTracker(n int, bi *BallIndex) *arrivalTracker {
 
 // learn records that node v first heard origin u (including its own rumor at
 // round 0).
+//
+//freelunch:noalloc
 func (tr *arrivalTracker) learn(v, u graph.NodeID) {
 	tr.arrivals.Add(1)
 	if tr.ball == nil || !tr.ball.Contains(v, u) {
@@ -297,6 +299,7 @@ func (p *gossipNode) Step(env *local.Env, round int, inbox []local.Message) {
 // flight for exactly one round).
 func (p *gossipNode) snapshot(parity int) []rumor {
 	out := p.pull[parity].Rumors[:0]
+	//freelunch:orderok receivers fold Rumors into their known map (a set); emission order is never observed
 	for o, pl := range p.known {
 		out = append(out, rumor{Origin: o, Payload: pl})
 	}
@@ -489,6 +492,7 @@ func (bi *BallIndex) CoverRounds(arrival []map[graph.NodeID]int) []int {
 	out := make([]int, len(bi.sets))
 	for v := range bi.sets {
 		worst := 0
+		//freelunch:orderok max-reduction with a missing-member early exit; the result is visit-order-independent
 		for u := range bi.sets[v] {
 			r, ok := arrival[v][u]
 			if !ok {

@@ -89,6 +89,7 @@ func FloodBudget(ctx context.Context, host *graph.Graph, payloads []any, rounds,
 		Arrival: make([]map[graph.NodeID]int, n),
 	}
 	enqueue := func(v int, it qitem) {
+		//freelunch:orderok queueOf[v] values are distinct queue indices, so the appends target disjoint queues
 		for _, qi := range queueOf[v] {
 			queues[qi].items = append(queues[qi].items, it)
 		}

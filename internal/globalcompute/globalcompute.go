@@ -26,6 +26,7 @@ package globalcompute
 import (
 	"context"
 	"fmt"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -187,7 +188,7 @@ func (p *gcNode) Step(env *local.Env, round int, inbox []local.Message) {
 			if !p.haveVal {
 				p.haveVal = true
 				p.value = msg.Value
-				for e := range p.children {
+				for _, e := range sortedChildren(p.children) {
 					env.Send(e, gcMsg{Kind: gcDone, Value: p.value})
 				}
 				env.Halt()
@@ -220,12 +221,24 @@ func (p *gcNode) Step(env *local.Env, round int, inbox []local.Message) {
 			// Root: the aggregate is complete; flood the result.
 			p.haveVal = true
 			p.value = p.acc
-			for e := range p.children {
+			for _, e := range sortedChildren(p.children) {
 				env.Send(e, gcMsg{Kind: gcDone, Value: p.value})
 			}
 			env.Halt()
 		}
 	}
+}
+
+// sortedChildren returns the child edge set in increasing edge-ID order.
+// The gcDone fan-out iterates it instead of the map so the send sweep (and
+// with it message sequence assignment) is the same in every run.
+func sortedChildren(m map[graph.EdgeID]bool) []graph.EdgeID {
+	ids := make([]graph.EdgeID, 0, len(m))
+	for e := range m {
+		ids = append(ids, e)
+	}
+	slices.Sort(ids)
+	return ids
 }
 
 // noEdge marks "no arrival edge" for the initial wave.

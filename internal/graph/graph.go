@@ -249,6 +249,8 @@ func (g *Graph) rebuild() {
 
 // Degree returns the number of edge endpoints at v (parallel edges counted
 // with multiplicity).
+//
+//freelunch:noalloc
 func (g *Graph) Degree(v NodeID) int {
 	if !g.clean.Load() {
 		g.rebuild()
@@ -261,6 +263,8 @@ func (g *Graph) Degree(v NodeID) int {
 // be modified; callers that need to retain or mutate it must copy. This is a
 // deliberate exception to copy-at-boundaries: the simulator iterates
 // incident lists in its innermost loop, and the call is allocation-free.
+//
+//freelunch:noalloc
 func (g *Graph) Incident(v NodeID) []Half { return g.rows(v) }
 
 // Edges returns all edges in insertion order. The returned slice is owned by
@@ -269,6 +273,8 @@ func (g *Graph) Edges() []Edge { return g.edges }
 
 // EdgeByID returns the edge with the given ID. The lookup is a binary search
 // over the sorted ID index: allocation-free, O(log m).
+//
+//freelunch:noalloc
 func (g *Graph) EdgeByID(id EdgeID) (Edge, bool) {
 	pos, found := g.searchID(id)
 	if !found {

@@ -276,6 +276,8 @@ func (e *Env) Rand() *xrand.RNG { return &e.rng }
 // staged directly into the bucket for its receiver's shard: the bucket row
 // is owned by the step worker running this node, so sends touch no shared
 // state and delivery will read the message exactly once.
+//
+//freelunch:noalloc
 func (e *Env) Send(edge graph.EdgeID, payload any) {
 	i := int(e.hint)
 	if i >= len(e.ports) || e.ports[i].Edge != edge {
@@ -291,6 +293,7 @@ func (e *Env) Send(edge graph.EdgeID, payload any) {
 	to := e.peers[i]
 	r := e.run
 	bucket := &r.stages[e.shard][int(to)/r.chunk]
+	//freelunch:allocok amortized: staging buckets are truncated and reused across rounds, steady state grows nothing
 	*bucket = append(*bucket, stagedMsg{edge: edge, to: to, seq: e.seq, body: payload})
 	e.seq++
 }
@@ -614,6 +617,8 @@ func msgOrder(a, b Message) int {
 // sends arrive in (edge, seq) order by construction — skip the sort behind
 // a linear is-sorted scan: a stable sort of a sorted slice is the identity,
 // so the fast path cannot change any execution.
+//
+//freelunch:noalloc
 func sortInbox(in []Message) {
 	if len(in) < 2 {
 		return
@@ -635,6 +640,8 @@ func sortInbox(in []Message) {
 // All staging buffers are truncated and reused: a steady-state round
 // allocates nothing, and payload references are cleared so finished bursts
 // do not pin their payloads.
+//
+//freelunch:noalloc
 func (r *run) deliverShard(w, lo, hi int) {
 	t := &r.totals[w]
 	t.sent, t.units = 0, 0
@@ -662,6 +669,7 @@ func (r *run) deliverShard(w, lo, hi int) {
 			if r.envs[m.to].halted {
 				continue // dropped: receiver terminated
 			}
+			//freelunch:allocok amortized: inbox backing arrays are truncated and reused across rounds
 			r.inbox[m.to] = append(r.inbox[m.to], Message{Edge: m.edge, Payload: m.body, seq: m.seq})
 		}
 		clear(bucket) // no stale payload references in the reused bucket

@@ -156,12 +156,14 @@ func (c *Collection) Replay(spec algorithms.Spec, v graph.NodeID) (any, error) {
 	// Adjacency among known origins: an edge ID shared by two port lists
 	// connects them (the unique-edge-ID assumption at work).
 	owners := make(map[graph.EdgeID][]graph.NodeID)
+	//freelunch:orderok owner-list order only pairs edge endpoints; replay sorts the ball and takes order-independent BFS distances
 	for origin, ports := range known {
 		for _, e := range ports {
 			owners[e] = append(owners[e], origin)
 		}
 	}
 	adj := make(map[graph.NodeID][]graph.NodeID, len(known))
+	//freelunch:orderok adjacency is consumed as a set: replay's distance computation is neighbor-order-independent
 	for e, os := range owners {
 		if len(os) > 2 {
 			return nil, fmt.Errorf("simulate: edge %d claimed by %d nodes", e, len(os))

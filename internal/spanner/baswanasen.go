@@ -69,6 +69,7 @@ func BaswanaSen(g *graph.Graph, k int, seed uint64) (*Result, error) {
 				centers[cluster[v]] = true
 			}
 		}
+		//freelunch:orderok each coin comes from the center's own derived stream, independent of visit order
 		for c := range centers {
 			if rng.Derive(uint64(i)<<32 | uint64(c)).Bernoulli(p) {
 				sampled[c] = true
@@ -112,6 +113,7 @@ func joinOrLeave(g *graph.Graph, v graph.NodeID, cluster []graph.NodeID,
 	nbrs := neighboringClusters(g, v, cluster)
 	// Deterministic scan order: smallest sampled cluster wins.
 	var best graph.NodeID = unclustered
+	//freelunch:orderok min-reduction: the smallest sampled cluster wins regardless of visit order
 	for c := range nbrs {
 		if sampled[c] && (best == unclustered || c < best) {
 			best = c

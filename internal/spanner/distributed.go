@@ -3,6 +3,7 @@ package spanner
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -204,11 +205,22 @@ func (nd *BSNode) learnCoin(env *local.Env, msg bsCoinMsg, from graph.EdgeID) {
 }
 
 func (nd *BSNode) forwardCoin(env *local.Env, from graph.EdgeID) {
-	for e := range nd.children {
+	for _, e := range sortedEdges(nd.children) {
 		if e != from {
 			env.Send(e, bsCoinMsg{Cluster: nd.cluster, Sampled: nd.sampledNow})
 		}
 	}
+}
+
+// sortedEdges returns a map's edge keys in increasing ID order, so send
+// sweeps over edge sets fire in the same order every run.
+func sortedEdges[V any](m map[graph.EdgeID]V) []graph.EdgeID {
+	ids := make([]graph.EdgeID, 0, len(m))
+	for e := range m {
+		ids = append(ids, e)
+	}
+	slices.Sort(ids)
+	return ids
 }
 
 func (nd *BSNode) flushAccepts(env *local.Env) {

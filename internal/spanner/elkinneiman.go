@@ -114,8 +114,8 @@ func (nd *ENNode) Step(env *local.Env, round int, inbox []local.Message) {
 		// the first. Strict inequality excludes exact ties (same source at
 		// the same distance via the far endpoint), which is what sparsifies
 		// the level sets of m.
-		for e, t := range nd.bestVia {
-			if t < nd.first+1 {
+		for _, e := range sortedEdges(nd.bestVia) {
+			if nd.bestVia[e] < nd.first+1 {
 				nd.InS[e] = true
 				env.Send(e, enAccept{})
 			}
