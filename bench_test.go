@@ -81,6 +81,44 @@ func BenchmarkSchemes(b *testing.B) {
 	}
 }
 
+// BenchmarkSchemesUnderDrop prices the adversary layer: the same workload
+// as BenchmarkSchemes under the shipped drop10 profile (10% message loss),
+// with the honest bill and the adversary's share surfaced as custom
+// metrics. The scheme slice is the profile-tolerant subset — schemes whose
+// convergecast stages legitimately fail under loss are pinned by the
+// golden suite instead.
+func BenchmarkSchemesUnderDrop(b *testing.B) {
+	g := gen.ConnectedGNP(120, 0.08, xrand.New(11))
+	spec := repro.MaxID(3)
+	profile, ok := repro.NamedAdversary("drop10")
+	if !ok {
+		b.Fatal("drop10 profile missing from the registry")
+	}
+	for _, name := range []string{"direct", "scheme1", "scheme2", "gossip-earlystop"} {
+		b.Run(name, func(b *testing.B) {
+			eng := repro.NewEngine(
+				repro.WithSeed(5),
+				repro.WithConcurrency(-1),
+				repro.WithNoCache(),
+				repro.WithAdversary(profile),
+			)
+			var msgs, dropped int64
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Run(context.Background(), name, g, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs, dropped = res.Messages, 0
+				for _, ph := range res.Phases {
+					dropped += ph.Dropped
+				}
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+			b.ReportMetric(float64(dropped), "dropped/op")
+		})
+	}
+}
+
 // BenchmarkSchemesAmortized demonstrates the amortization curve the paper
 // predicts for repeated runs: for every sampler-based scheme, "cold"
 // reconstructs the stage-1 spanner each iteration (WithNoCache) while
@@ -203,7 +241,7 @@ func BenchmarkLocalEngineConcurrent(b *testing.B) {
 }
 
 // The engine benchmarks always report allocations: they are the perf
-// trajectory's hot-path series (BENCH_8.json) and the subject of CI's
+// trajectory's hot-path series (BENCH_10.json) and the subject of CI's
 // allocation-regression gate (cmd/bench -ceiling).
 func benchLocalEngine(b *testing.B, concurrent bool) {
 	b.Helper()

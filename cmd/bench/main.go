@@ -4,7 +4,7 @@
 // line into {name, iterations, metrics} (ns/op, B/op, allocs/op, plus any
 // custom metrics like msgs/op or ledgerB/op), and writes them as JSON.
 //
-// The committed baseline lives at BENCH_8.json (regenerate with
+// The committed baseline lives at BENCH_10.json (regenerate with
 // `go run ./cmd/bench`); CI runs the same entry point on every commit and
 // archives the JSON, so any two commits' perf can be diffed structurally.
 //
@@ -87,7 +87,7 @@ func main() {
 	millionBench := flag.String("millionbench", "BenchmarkMillionNodeFloodRound", "million-node scale benchmark regex (empty disables the pass)")
 	millionTime := flag.String("milliontime", "16x", "benchtime for the million-node pass (iterations share one Run's setup)")
 	millionPkg := flag.String("millionpkg", "./internal/local", "package for the million-node pass")
-	out := flag.String("out", "BENCH_8.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "BENCH_10.json", "output JSON path (- for stdout)")
 	raw := flag.String("raw", "", "optionally also write the raw go test output to this path")
 	ceiling := flag.String("ceiling", "", "regression gate: comma-separated Name=max (allocs/op) or Name:metric=max pairs; exit non-zero when exceeded")
 	diffOld := flag.String("diff", "", "diff mode: compare this baseline snapshot against the snapshot named by the positional arg (`bench -diff old.json new.json`) instead of running benchmarks; exit non-zero on regression")

@@ -44,6 +44,7 @@ func main() {
 		bandwidth  = flag.Int("bandwidth", 0, "CONGEST word cap per edge per round for scheme1-congest (0 = ceil(log2 n))")
 		hybridFrac = flag.Float64("hybridfrac", 0.5, "fraction of t-balls the hybrid scheme's gossip stage seeds, in (0,1]")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		advName    = flag.String("adversary", "", "adversary profile: "+strings.Join(repro.AdversaryProfiles(), "|")+" (empty = flawless network)")
 		repeat     = flag.Int("repeat", 1, "run the scheme this many times on one engine; repeats reuse the cached stage-1 spanner")
 		progress   = flag.Bool("progress", false, "stream live per-round progress from the observer")
 		nocache    = flag.Bool("nocache", false, "disable the engine's stage-1 spanner cache")
@@ -76,6 +77,15 @@ func main() {
 		// Negative values flow through so the engine's validation rejects
 		// them loudly instead of silently falling back to the auto cap.
 		opts = append(opts, repro.WithBandwidth(*bandwidth))
+	}
+	adversarial := *advName != ""
+	if adversarial {
+		profile, ok := repro.NamedAdversary(*advName)
+		if !ok {
+			log.Fatalf("unknown adversary profile %q (shipped: %s)", *advName, strings.Join(repro.AdversaryProfiles(), ", "))
+		}
+		opts = append(opts, repro.WithAdversary(profile))
+		fmt.Printf("adversary: %s\n", profile.Name)
 	}
 	if *nocache {
 		opts = append(opts, repro.WithNoCache())
@@ -118,20 +128,34 @@ func main() {
 			if ph.Dilation != 0 {
 				fmt.Printf(" (congest dilation %.2fx)", ph.Dilation)
 			}
+			if ph.Dropped != 0 || ph.Duplicated != 0 {
+				fmt.Printf(" (adversary dropped %d, duplicated %d)", ph.Dropped, ph.Duplicated)
+			}
 			fmt.Println()
 		}
 		if res.SpannerEdges > 0 {
 			fmt.Printf("  carrier spanner: %d edges, stretch bound %d\n", res.SpannerEdges, res.StretchUsed)
 		}
 
-		// Fidelity: every node's simulated output must equal direct execution's.
+		// Fidelity: on a flawless network every node's simulated output must
+		// equal direct execution's — any mismatch is a bug. Under an
+		// adversary the free-lunch guarantee is void by design, so the
+		// mismatch count is reported as a degradation measurement instead.
+		match := 0
 		for v := range direct.Outputs {
-			if res.Outputs[v] != direct.Outputs[v] {
+			if res.Outputs[v] == direct.Outputs[v] {
+				match++
+			} else if !adversarial {
 				log.Fatalf("FIDELITY VIOLATION at node %d: simulated %v, direct %v",
 					v, res.Outputs[v], direct.Outputs[v])
 			}
 		}
-		fmt.Printf("fidelity: all %d node outputs match direct execution exactly\n", len(direct.Outputs))
+		if adversarial {
+			fmt.Printf("fidelity: %d/%d node outputs match the (equally adversarial) direct run (%.1f%%)\n",
+				match, len(direct.Outputs), 100*float64(match)/float64(len(direct.Outputs)))
+		} else {
+			fmt.Printf("fidelity: all %d node outputs match direct execution exactly\n", len(direct.Outputs))
+		}
 	}
 	if *repeat > 1 {
 		fmt.Printf("amortized: %d runs, %.1f messages/run (%.2fx direct per run)\n",

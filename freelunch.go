@@ -45,6 +45,14 @@
 // WithRoundLedger(false) drops the internal per-round ledgers so long
 // schedules run at O(1) memory in executed rounds.
 //
+// WithAdversary subjects a run to a pluggable network adversary — seeded
+// message drops and duplications, crash-stop failures, bounded per-edge
+// delivery delays, and mid-run edge insertions/deletions — with every send
+// still billed honestly (PhaseCost.Dropped and PhaseCost.Duplicated
+// attribute the damage). Adversarial runs are bit-identical across both
+// engines at every worker count; the default (no adversary) is the paper's
+// flawless synchronous network.
+//
 // An Engine memoizes its stage-1 Sampler spanners across Runs keyed by
 // (graph, seed, spanner parameters) — the paper's amortization story —
 // so repeated simulations at the same key pay the construction only once;
@@ -63,6 +71,7 @@
 package repro
 
 import (
+	"repro/internal/adversary"
 	"repro/internal/algorithms"
 	"repro/internal/graph"
 	"repro/internal/local"
@@ -82,7 +91,35 @@ type (
 	// prefer an Engine with functional options; RunConfig remains for the
 	// deprecated entry points.
 	RunConfig = local.Config
+	// AdversaryProfile configures the pluggable network adversary a run
+	// executes against (see WithAdversary): seeded message drops and
+	// duplications, crash-stop failures, per-edge delivery delays, and
+	// mid-run topology events. The zero value perturbs nothing.
+	AdversaryProfile = adversary.Profile
+	// AdversaryCrash schedules one crash-stop failure inside an
+	// AdversaryProfile.
+	AdversaryCrash = adversary.Crash
+	// AdversaryEdgeEvent schedules one mid-run edge insertion or deletion
+	// inside an AdversaryProfile.
+	AdversaryEdgeEvent = adversary.EdgeEvent
 )
+
+// Edge-event operations for AdversaryEdgeEvent.Op.
+const (
+	// InsertEdge adds a fresh edge (new unique ID) between the event's
+	// endpoints.
+	InsertEdge = adversary.InsertEdge
+	// DeleteEdge removes the lowest-ID edge between the event's endpoints
+	// (a no-op when none exists).
+	DeleteEdge = adversary.DeleteEdge
+)
+
+// AdversaryProfiles returns the names of the shipped adversary profiles, in
+// registry order; NamedAdversary resolves one by name.
+func AdversaryProfiles() []string { return adversary.Names() }
+
+// NamedAdversary returns the shipped adversary profile with the given name.
+func NamedAdversary(name string) (AdversaryProfile, bool) { return adversary.Named(name) }
 
 // NewGraph returns an empty graph on n nodes.
 func NewGraph(n int) *Graph { return graph.New(n) }

@@ -42,6 +42,14 @@ func renderResult(res *repro.SimulationResult) string {
 		if ph.Dilation != 0 {
 			fmt.Fprintf(&b, " dilation=%.4f", ph.Dilation)
 		}
+		// Only adversarial runs have damage to attribute; flawless runs keep
+		// their historical golden lines byte for byte.
+		if ph.Dropped != 0 {
+			fmt.Fprintf(&b, " dropped=%d", ph.Dropped)
+		}
+		if ph.Duplicated != 0 {
+			fmt.Fprintf(&b, " duplicated=%d", ph.Duplicated)
+		}
 		fmt.Fprintf(&b, "\n")
 	}
 	for v, out := range res.Outputs {

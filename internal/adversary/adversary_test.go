@@ -1,0 +1,189 @@
+package adversary
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDecisionsAreDeterministic(t *testing.T) {
+	p := Profile{Seed: 42, DropRate: 0.3, DupRate: 0.2, DelayBound: 3}
+	a, b := Compile(p, 7), Compile(p, 7)
+	for round := 0; round < 20; round++ {
+		for edge := graph.EdgeID(0); edge < 10; edge++ {
+			for seq := int32(0); seq < 3; seq++ {
+				if a.Drop(round, edge, 1, seq) != b.Drop(round, edge, 1, seq) {
+					t.Fatalf("drop decision differs at (%d,%d,%d)", round, edge, seq)
+				}
+				if a.Duplicate(round, edge, 1, seq) != b.Duplicate(round, edge, 1, seq) {
+					t.Fatalf("dup decision differs at (%d,%d,%d)", round, edge, seq)
+				}
+			}
+			if a.Delay(edge) != b.Delay(edge) {
+				t.Fatalf("delay differs on edge %d", edge)
+			}
+		}
+	}
+}
+
+func TestRunSeedPerturbsDecisions(t *testing.T) {
+	p := Profile{Seed: 42, DropRate: 0.5}
+	a, b := Compile(p, 1), Compile(p, 2)
+	differs := false
+	for round := 0; round < 50 && !differs; round++ {
+		for edge := graph.EdgeID(0); edge < 10; edge++ {
+			if a.Drop(round, edge, 0, 0) != b.Drop(round, edge, 0, 0) {
+				differs = true
+				break
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("different run seeds produced identical drop sets")
+	}
+}
+
+func TestReceiverDisambiguatesEdgeDirections(t *testing.T) {
+	// Both endpoints of one edge can send their seq-0 message in the same
+	// round; the receiver must be part of the decision key, or the two
+	// directions would always share a fate.
+	p := Profile{Seed: 9, DropRate: 0.5}
+	a := Compile(p, 3)
+	differs := false
+	for round := 0; round < 100 && !differs; round++ {
+		if a.Drop(round, 0, 0, 0) != a.Drop(round, 0, 1, 0) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("the two directions of an edge always share a drop fate")
+	}
+}
+
+func TestRateExtremes(t *testing.T) {
+	zero := Compile(Profile{Seed: 1}, 1)
+	full := Compile(Profile{Seed: 1, DropRate: 1, DupRate: 1}, 1)
+	for round := 0; round < 20; round++ {
+		if zero.Drop(round, 0, 0, 0) || zero.Duplicate(round, 0, 0, 0) {
+			t.Fatal("zero-rate profile perturbed a message")
+		}
+		if !full.Drop(round, 0, 0, 0) || !full.Duplicate(round, 0, 0, 0) {
+			t.Fatal("rate-1 profile spared a message")
+		}
+	}
+	if zero.Delay(0) != 0 {
+		t.Fatal("zero delay bound delayed an edge")
+	}
+}
+
+func TestDelayConstantPerEdgeAndBounded(t *testing.T) {
+	a := Compile(Profile{Seed: 8, DelayBound: 4}, 5)
+	if a.MaxDelay() != 4 {
+		t.Fatalf("MaxDelay = %d, want 4", a.MaxDelay())
+	}
+	spread := map[int]bool{}
+	for edge := graph.EdgeID(0); edge < 100; edge++ {
+		d := a.Delay(edge)
+		if d < 0 || d > 4 {
+			t.Fatalf("delay %d outside [0,4]", d)
+		}
+		if a.Delay(edge) != d {
+			t.Fatalf("edge %d delay is not constant", edge)
+		}
+		spread[d] = true
+	}
+	if len(spread) < 3 {
+		t.Fatalf("100 edges hit only %d distinct delays; hashing looks degenerate", len(spread))
+	}
+}
+
+func TestCrashesAtAndEventsAt(t *testing.T) {
+	a := Compile(Profile{
+		Crashes: []Crash{{Node: 9, Round: 4}, {Node: 2, Round: 1}, {Node: 5, Round: 1}},
+		EdgeEvents: []EdgeEvent{
+			{Round: 3, Op: DeleteEdge, U: 0, V: 1},
+			{Round: 1, Op: InsertEdge, U: 2, V: 3},
+			{Round: 3, Op: InsertEdge, U: 4, V: 5},
+		},
+	}, 0)
+	if got := a.CrashesAt(1); !reflect.DeepEqual(got, []Crash{{Node: 2, Round: 1}, {Node: 5, Round: 1}}) {
+		t.Fatalf("CrashesAt(1) = %v", got)
+	}
+	if got := a.CrashesAt(2); len(got) != 0 {
+		t.Fatalf("CrashesAt(2) = %v, want empty", got)
+	}
+	if got := a.EventsAt(3); len(got) != 2 || got[0].Op != DeleteEdge || got[1].Op != InsertEdge {
+		t.Fatalf("EventsAt(3) = %v, want profile order preserved", got)
+	}
+	if !a.HasEdgeEvents() {
+		t.Fatal("HasEdgeEvents = false with scheduled events")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Profile{
+		{DropRate: -0.1},
+		{DropRate: 1.5},
+		{DupRate: 2},
+		{DelayBound: -1},
+		{Crashes: []Crash{{Node: 0, Round: -1}}},
+		{Crashes: []Crash{{Node: -2, Round: 0}}},
+		{EdgeEvents: []EdgeEvent{{Round: -1, Op: InsertEdge, U: 0, V: 1}}},
+		{EdgeEvents: []EdgeEvent{{Round: 0, Op: EdgeOp(9), U: 0, V: 1}}},
+		{EdgeEvents: []EdgeEvent{{Round: 0, Op: InsertEdge, U: 3, V: 3}}},
+		{EdgeEvents: []EdgeEvent{{Round: 0, Op: InsertEdge, U: -1, V: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("profile %d validated: %+v", i, p)
+		}
+	}
+	good := Profile{DropRate: 0.5, DupRate: 1, DelayBound: 3,
+		Crashes:    []Crash{{Node: 1, Round: 0}},
+		EdgeEvents: []EdgeEvent{{Round: 2, Op: DeleteEdge, U: 0, V: 4}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.IsZero() {
+		t.Fatal("perturbing profile reported IsZero")
+	}
+	if !(&Profile{Name: "x", Seed: 4}).IsZero() {
+		t.Fatal("name/seed-only profile is not zero")
+	}
+}
+
+func TestNamedRegistry(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no shipped profiles")
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Fatalf("duplicate profile name %q", name)
+		}
+		seen[name] = true
+		p, ok := Named(name)
+		if !ok || p.Name != name {
+			t.Fatalf("Named(%q) = %+v, %v", name, p, ok)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("shipped profile %q invalid: %v", name, err)
+		}
+	}
+	if _, ok := Named("no-such-profile"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+	// The starvation profile the robustness tests depend on must stay total.
+	p, ok := Named("blackout")
+	if !ok || p.DropRate != 1 {
+		t.Fatalf("blackout profile = %+v, %v; want DropRate 1", p, ok)
+	}
+}
+
+func TestEdgeOpString(t *testing.T) {
+	if InsertEdge.String() != "insert" || DeleteEdge.String() != "delete" {
+		t.Fatalf("EdgeOp strings = %q/%q", InsertEdge.String(), DeleteEdge.String())
+	}
+}

@@ -42,6 +42,7 @@ var DeterministicPackages = map[string]bool{
 	"repro/internal/simulate":      true,
 	"repro/internal/spanner":       true,
 	"repro/internal/globalcompute": true,
+	"repro/internal/adversary":     true,
 }
 
 // Deterministic reports whether the package at path is bound by the

@@ -10,6 +10,7 @@ import (
 func TestMapOrder(t *testing.T) {
 	analysistest.Run(t, maporder.Analyzer,
 		"repro/internal/graph/gen", // gated: flagged, sink, and waived forms
+		"repro/internal/adversary", // gated: schedule assembly must not leak map order
 		"example.com/ungated",      // ungated: identical code, no findings
 	)
 }

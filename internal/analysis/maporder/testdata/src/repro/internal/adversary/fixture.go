@@ -1,0 +1,46 @@
+// Package adversary is a maporder fixture mirroring the gated import path
+// repro/internal/adversary: perturbation decisions are pure hashes pinned
+// by golden files, so schedule assembly must not leak map-iteration order.
+package adversary
+
+import "sort"
+
+type crash struct{ node, round int }
+
+// scheduleFromMap is the flagged form: emitting a crash schedule by
+// ranging over a map would order Compile's sorted slice input — and hence
+// the applied crash sequence — differently across processes.
+func scheduleFromMap(rounds map[int]int) []crash {
+	var out []crash
+	for node, round := range rounds { // want `range over map in deterministic package`
+		out = append(out, crash{node: node, round: round})
+	}
+	return out
+}
+
+// scheduleSorted collects then sorts: the order is erased before anyone
+// can observe it, so there is nothing to flag.
+func scheduleSorted(rounds map[int]int) []crash {
+	nodes := make([]int, 0, len(rounds))
+	for node := range rounds {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	out := make([]crash, 0, len(nodes))
+	for _, node := range nodes {
+		out = append(out, crash{node: node, round: rounds[node]})
+	}
+	return out
+}
+
+// maxCrashRound carries a justified waiver: suppressed.
+func maxCrashRound(rounds map[int]int) int {
+	last := -1
+	//freelunch:orderok max-reduction, result independent of visit order
+	for _, round := range rounds {
+		if round > last {
+			last = round
+		}
+	}
+	return last
+}

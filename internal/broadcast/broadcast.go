@@ -15,6 +15,7 @@ package broadcast
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -79,20 +80,23 @@ type rumor struct {
 type floodBatch []rumor
 
 // floodNode floods newly learned rumors to all neighbors each round. The
-// outgoing batch is double-buffered by round parity: the batch in flight is
-// read by receivers one round after it was sent, so the buffer of parity p
-// is free for rewriting when parity p comes around again.
+// outgoing batch is buffered by round parity: a batch sent in round r is
+// read by receivers in round r+1 — or, under an adversary with delivery
+// delays, as late as round r+1+B — so the buffer ring holds B+2 batches and
+// the buffer of parity p is free for rewriting when p comes around again
+// (after the longest possible in-flight lifetime has passed). The flawless
+// network keeps the historical two buffers.
 type floodNode struct {
 	t       int
 	self    any  // this node's own message M_v
 	seed    bool // whether this node injects its own rumor
 	known   map[graph.NodeID]any
 	arrival map[graph.NodeID]int
-	fresh   [2]floodBatch
+	fresh   []floodBatch
 }
 
 func (p *floodNode) Step(env *local.Env, round int, inbox []local.Message) {
-	cur := &p.fresh[round&1]
+	cur := &p.fresh[round%len(p.fresh)]
 	*cur = (*cur)[:0]
 	if round == 0 {
 		p.known = map[graph.NodeID]any{env.ID(): p.self}
@@ -151,8 +155,14 @@ func FloodFrom(ctx context.Context, host *graph.Graph, payloads []any, seeds []b
 	}
 	nodes := make([]*floodNode, host.NumNodes())
 	rounds = clampSchedule(&cfg, rounds)
+	parities := 2 + maxDelay(cfg)
 	run, err := local.RunCtx(ctx, host, func(v graph.NodeID) local.Protocol {
-		nd := &floodNode{t: rounds, self: payloads[v], seed: seeds == nil || seeds[v]}
+		nd := &floodNode{
+			t:     rounds,
+			self:  payloads[v],
+			seed:  seeds == nil || seeds[v],
+			fresh: make([]floodBatch, parities),
+		}
 		nodes[v] = nd
 		return nd
 	}, cfg)
@@ -165,6 +175,16 @@ func FloodFrom(ctx context.Context, host *graph.Graph, payloads []any, seeds []b
 		res.Arrival = append(res.Arrival, nd.arrival)
 	}
 	return res, nil
+}
+
+// maxDelay is the configured adversary's delivery-delay bound (0 without an
+// adversary): the extra payload-buffer lifetime the broadcast protocols must
+// tolerate before reusing an in-flight envelope.
+func maxDelay(cfg local.Config) int {
+	if cfg.Adversary != nil {
+		return cfg.Adversary.MaxDelay()
+	}
+	return 0
 }
 
 // clampSchedule reconciles a caller-provided round budget (cfg.MaxRounds)
@@ -231,20 +251,22 @@ func (tr *arrivalTracker) learn(v, u graph.NodeID) {
 // gossipNode implements synchronous push–pull gossip: each round it pushes
 // its full rumor set over one uniformly random incident edge and answers
 // last round's pushes with its full set. The rumor snapshot and the
-// push/pull envelopes are double-buffered by round parity — payloads sent in
-// round r are read in round r+1 and never later, so parity-p buffers are
-// free for reuse when parity p recurs — and the envelopes travel as
-// pointers, whose interface boxing is allocation-free. A steady-state gossip
-// round therefore allocates only when the known set (and with it the
-// snapshot buffer) grows.
+// push/pull envelopes are buffered by round parity — payloads sent in round
+// r are read in round r+1 (or as late as r+1+B under an adversary with
+// delay bound B, hence B+2 parities in the ring; two on the flawless
+// network, as historically) and never later, so parity-p buffers are free
+// for reuse when parity p recurs — and the envelopes travel as pointers,
+// whose interface boxing is allocation-free. A steady-state gossip round
+// therefore allocates only when the known set (and with it the snapshot
+// buffer) grows.
 type gossipNode struct {
 	t       int
 	track   *arrivalTracker
 	known   map[graph.NodeID]any
 	arrival map[graph.NodeID]int
 	replyTo []graph.EdgeID
-	push    [2]gossipPush
-	pull    [2]gossipPull
+	push    []gossipPush
+	pull    []gossipPull
 }
 
 type gossipPush struct{ Rumors []rumor }
@@ -277,9 +299,10 @@ func (p *gossipNode) Step(env *local.Env, round int, inbox []local.Message) {
 		env.Halt()
 		return
 	}
-	all := p.snapshot(round & 1)
+	parity := round % len(p.push)
+	all := p.snapshot(parity)
 	if len(p.replyTo) > 0 {
-		pull := &p.pull[round&1]
+		pull := &p.pull[parity]
 		pull.Rumors = all
 		for _, e := range p.replyTo {
 			env.Send(e, pull)
@@ -288,7 +311,7 @@ func (p *gossipNode) Step(env *local.Env, round int, inbox []local.Message) {
 	}
 	if env.Degree() > 0 {
 		pt := env.Ports()[env.Rand().Intn(env.Degree())]
-		push := &p.push[round&1]
+		push := &p.push[parity]
 		push.Rumors = all
 		env.Send(pt.Edge, push)
 	}
@@ -363,15 +386,15 @@ func gossipRun(ctx context.Context, host *graph.Graph, payloads []any, rounds in
 	}
 	nodes := make([]*gossipNode, host.NumNodes())
 	rounds = clampSchedule(&cfg, rounds)
+	parities := 2 + maxDelay(cfg)
 	track := newArrivalTracker(host.NumNodes(), bi)
-	stop := -1
 	if bi != nil {
-		cfg.StopWhen = func(r int, _ int64) bool {
-			if track.covered.Load() >= int64(target) {
-				stop = r
-				return true
-			}
-			return false
+		// The hook is a pure coverage check: the cover round itself is
+		// recovered post-hoc from the recorded arrivals, so an adversary
+		// that defers the stop (delayed messages in flight keep the
+		// in-flight gate closed) cannot inflate the billed cover round.
+		cfg.StopWhen = func(int, int64) bool {
+			return track.covered.Load() >= int64(target)
 		}
 	}
 	// With the per-round ledger disabled, record cumulative message counts
@@ -396,7 +419,12 @@ func gossipRun(ctx context.Context, host *graph.Graph, payloads []any, rounds in
 		}
 	}
 	run, err := local.RunCtx(ctx, host, func(v graph.NodeID) local.Protocol {
-		nd := &gossipNode{t: rounds, track: track}
+		nd := &gossipNode{
+			t:     rounds,
+			track: track,
+			push:  make([]gossipPush, parities),
+			pull:  make([]gossipPull, parities),
+		}
 		nodes[v] = nd
 		return nd
 	}, cfg)
@@ -412,7 +440,34 @@ func gossipRun(ctx context.Context, host *graph.Graph, payloads []any, rounds in
 		res.Known = append(res.Known, nd.known)
 		res.Arrival = append(res.Arrival, nd.arrival)
 	}
-	return res, stop, nil
+	return res, coverAt(bi, res.Arrival, target), nil
+}
+
+// coverAt recovers the run's cover round from the recorded arrivals: the
+// earliest round by which at least target nodes held their complete ball —
+// the target-th smallest per-node cover round — or -1 if the schedule ended
+// first. On a flawless network this equals the round the StopWhen hook fired
+// on (the covered counter first reaches target at exactly that round);
+// under an adversary it is the true coverage round even when delayed
+// in-flight traffic forced the run past it.
+func coverAt(bi *BallIndex, arrival []map[graph.NodeID]int, target int) int {
+	if bi == nil {
+		return -1
+	}
+	if target <= 0 {
+		return 0
+	}
+	var covered []int
+	for _, r := range bi.CoverRounds(arrival) {
+		if r >= 0 {
+			covered = append(covered, r)
+		}
+	}
+	if len(covered) < target {
+		return -1
+	}
+	slices.Sort(covered)
+	return covered[target-1]
 }
 
 // CoverRound returns the earliest round by which every node had heard the

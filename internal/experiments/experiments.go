@@ -68,6 +68,7 @@ func All() []Experiment {
 		{"E14", E14SpannerQuality},
 		{"E15", E15ElkinNeimanStage},
 		{"E16", E16RegistryFidelity},
+		{"E17", E17DegradationUnderAdversity},
 	}
 }
 

@@ -182,7 +182,14 @@ func (p *gcNode) Step(env *local.Env, round int, inbox []local.Message) {
 				p.pending[m.Edge] = true
 			}
 		case gcAgg:
-			p.acc = p.merge(p.acc, msg.Value)
+			// Once the accumulator has been sent up it is aliased by the
+			// parent, which may be merging it this very round on another
+			// worker — and a late aggregate (a child whose gcParent
+			// registration was delayed past our report) is lost to the
+			// global result regardless, so it must not be merged in place.
+			if !p.sentUp {
+				p.acc = p.merge(p.acc, msg.Value)
+			}
 			delete(p.pending, m.Edge)
 		case gcDone:
 			if !p.haveVal {

@@ -331,6 +331,33 @@ func (g *Graph) MaxDegree() int {
 	return int(max)
 }
 
+// ErrNoSuchEdge reports a removal of an edge ID not in the graph.
+var ErrNoSuchEdge = errors.New("graph: no such edge")
+
+// RemoveEdgeID deletes the edge with the given ID. Later edges keep their
+// IDs and their relative insertion order (the edge table is compacted, not
+// reordered), and the ID is never reused: nextID only grows, so a graph that
+// deletes and re-adds edges still assigns fresh IDs. The CSR adjacency is
+// rebuilt lazily on the next read, exactly as after an insertion. This is
+// the mutation path of the adversary layer's dynamic-topology events.
+func (g *Graph) RemoveEdgeID(id EdgeID) error {
+	pos, found := g.searchID(id)
+	if !found {
+		return fmt.Errorf("%w: %d", ErrNoSuchEdge, id)
+	}
+	idx := g.byID[pos]
+	g.edges = slices.Delete(g.edges, int(idx), int(idx)+1)
+	g.byID = slices.Delete(g.byID, pos, pos+1)
+	// Edge-table positions after the removed edge shifted down by one.
+	for i := range g.byID {
+		if g.byID[i] > idx {
+			g.byID[i]--
+		}
+	}
+	g.clean.Store(false)
+	return nil
+}
+
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	return &Graph{

@@ -429,3 +429,52 @@ func TestBFSLipschitzProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRemoveEdgeID(t *testing.T) {
+	g := New(4)
+	a := g.AddEdge(0, 1)
+	b := g.AddEdge(1, 2)
+	c := g.AddEdge(2, 3)
+	if err := g.RemoveEdgeID(b); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.HasEdgeID(b) {
+		t.Fatalf("edge %d survived removal (%d edges)", b, g.NumEdges())
+	}
+	// Survivors keep IDs, endpoints, and insertion order.
+	edges := g.Edges()
+	if edges[0].ID != a || edges[1].ID != c {
+		t.Fatalf("survivor order = %d,%d, want %d,%d", edges[0].ID, edges[1].ID, a, c)
+	}
+	if got, ok := g.EdgeByID(c); !ok || got.U != 2 || got.V != 3 {
+		t.Fatalf("EdgeByID(%d) = %+v, %v after removal", c, got, ok)
+	}
+	// Adjacency rebuilds: node 1 and 2 each lost the removed edge.
+	if len(g.Incident(1)) != 1 || len(g.Incident(2)) != 1 {
+		t.Fatalf("incidence after removal: %v / %v", g.Incident(1), g.Incident(2))
+	}
+	// The freed ID is never reused.
+	if d := g.AddEdge(0, 3); d <= c {
+		t.Fatalf("re-add assigned stale ID %d (last was %d)", d, c)
+	}
+	if err := g.RemoveEdgeID(99); !errors.Is(err, ErrNoSuchEdge) {
+		t.Fatalf("removing a missing edge: err = %v, want ErrNoSuchEdge", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveEdgeIDParallel(t *testing.T) {
+	// Removing one of two parallel edges keeps the other deliverable.
+	g := New(2)
+	a := g.AddEdge(0, 1)
+	b := g.AddEdge(0, 1)
+	if err := g.RemoveEdgeID(a); err != nil {
+		t.Fatal(err)
+	}
+	between := g.EdgesBetween(0, 1)
+	if len(between) != 1 || between[0] != b {
+		t.Fatalf("EdgesBetween = %v, want [%d]", between, b)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/adversary"
 	"repro/internal/graph"
 	"repro/internal/sched"
 	"repro/internal/xrand"
@@ -154,7 +155,21 @@ type Config struct {
 	// goroutine, after the round's barrier, and must not call back into the
 	// run. Protocols that centrally detect a completion condition (e.g.
 	// broadcast coverage) use it to skip a fixed schedule's dead tail.
+	// Under an Adversary with delays the hook is additionally deferred past
+	// rounds with delayed messages still in flight, so a centrally detected
+	// completion condition cannot fire while undelivered traffic could still
+	// change it.
 	StopWhen func(round int, messages int64) bool
+	// Adversary, if non-nil, perturbs the run: per-message drops and
+	// duplications, crash-stop failures, per-edge FIFO delivery delays, and
+	// mid-run edge events, all consulted at the delivery boundary (and, for
+	// crashes and topology, at the round boundary). Decisions are pure
+	// functions of (profile seed, run seed, round, edge, receiver, send
+	// order), so both engines at every worker count execute bit-identical
+	// adversarial runs. nil (the default) leaves the flawless synchronous
+	// network byte-identical to historical behaviour. When the profile has
+	// edge events the engine runs on a private clone of the input graph.
+	Adversary *adversary.Adversary
 }
 
 // DefaultMaxRounds bounds runaway protocols.
@@ -175,12 +190,32 @@ type Result struct {
 	// PerRound is the number of messages sent in each round. It is nil
 	// when the run was configured with Config.NoLedger.
 	PerRound []int64
-	// Halted reports whether every node halted before MaxRounds.
+	// Halted reports whether every node halted before MaxRounds. Crashed
+	// nodes count as halted: a crash-stop failure ends the node's
+	// participation exactly as a voluntary halt does.
 	Halted bool
 	// Counters aggregates Env.Count calls from all nodes, keyed by name.
 	// Protocols use it to attribute message traffic to phases (e.g. query
 	// vs. cluster-tree traffic in the distributed Sampler).
 	Counters map[string]int64
+
+	// Dropped counts messages the adversary destroyed in transit: random
+	// losses, messages addressed to crashed receivers, and messages on
+	// deleted edges (including sends over edges that vanished mid-run).
+	// Every dropped message is still billed in Messages — the sender paid
+	// for the transmission — which is the honest-billing contract the
+	// degradation experiments rely on. Messages to voluntarily halted
+	// receivers are not counted here (they are the model's ordinary
+	// terminated-receiver drops, billed the same with or without an
+	// adversary). Always zero without an adversary.
+	Dropped int64
+	// Duplicated counts adversary-duplicated messages. Each duplicate is
+	// billed as one extra message in Messages (and its payload again in
+	// PayloadUnits) and delivered adjacent to the original. Always zero
+	// without an adversary.
+	Duplicated int64
+	// Crashed counts nodes the adversary crash-stopped during the run.
+	Crashed int
 }
 
 // Sizer lets a payload report its abstract size in "units" (think O(log n)-
@@ -216,9 +251,10 @@ type Env struct {
 	ports []Port         // incident ports sorted by edge ID (view into run.portsAll)
 	peers []graph.NodeID // receiver index per port, parallel to ports
 
-	seq    int32 // send order within the current round (the inbox tiebreak key)
-	hint   int32 // rotating port-position hint: protocols that send along
-	halted bool  // their port list in order resolve each edge in O(1)
+	seq     int32 // send order within the current round (the inbox tiebreak key)
+	hint    int32 // rotating port-position hint: protocols that send along
+	halted  bool  // their port list in order resolve each edge in O(1)
+	crashed bool  // halted by an adversarial crash-stop failure
 
 	counts []int64 // indexed by the run's counter registry
 
@@ -286,6 +322,17 @@ func (e *Env) Send(edge graph.EdgeID, payload any) {
 			return cmp.Compare(p.Edge, id)
 		})
 		if !ok {
+			if e.run.advEdges {
+				// Under adversarial topology events a protocol can hold a
+				// stale ID for an edge deleted mid-run. The send is billed
+				// but delivers nowhere: stage a void message (receiver -1,
+				// always bucket column 0) that delivery counts as dropped.
+				bucket := &e.run.stages[e.shard][0]
+				//freelunch:allocok amortized: staging buckets are truncated and reused across rounds, steady state grows nothing
+				*bucket = append(*bucket, stagedMsg{edge: edge, to: -1, seq: e.seq, body: payload})
+				e.seq++
+				return
+			}
 			panic(fmt.Sprintf("local: node %d sent on non-incident edge %d", e.id, edge))
 		}
 	}
@@ -387,14 +434,28 @@ type run struct {
 	round     int // current round, read by stepFn
 	stepFn    func(w, lo, hi int)
 	deliverFn func(w, lo, hi int)
+
+	// Adversary state; all nil/zero (and untouched on the hot path) for
+	// unperturbed runs.
+	adv      *adversary.Adversary
+	advEdges bool // profile has edge events: tolerate sends on vanished edges
+	// future[d][v] holds messages maturing for node v after d more delivery
+	// phases (slot 0 drains into inboxes at the top of each delivery); the
+	// coordinator rotates the ring once per round.
+	future   [][][]Message
+	inFlight int64 // delayed messages currently in the future ring
 }
 
 // shardTotals is one delivery worker's per-round message accounting, padded
-// to a cache line so workers do not false-share.
+// to a cache line so workers do not false-share. The adversary fields stay
+// zero (and unread) on the nil-adversary path.
 type shardTotals struct {
-	sent  int64
-	units int64
-	_     [48]byte
+	sent       int64
+	units      int64
+	dropped    int64
+	duplicated int64
+	pend       int64 // delta of delayed messages entering/leaving the future ring
+	_          [24]byte
 }
 
 // Run executes the protocol built by f on g under cfg and returns the cost
@@ -432,7 +493,22 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 	if cfg.IDMap != nil && len(cfg.IDMap) != n {
 		return Result{}, fmt.Errorf("local: IDMap covers %d of %d nodes", len(cfg.IDMap), n)
 	}
+	if cfg.Adversary != nil {
+		profile := cfg.Adversary.Profile()
+		if err := profile.Validate(); err != nil {
+			return Result{}, fmt.Errorf("local: %w", err)
+		}
+		if cfg.Adversary.HasEdgeEvents() {
+			// Topology events mutate the graph; run on a private clone so
+			// the caller's graph (possibly shared or cached) stays intact.
+			g = g.Clone()
+		}
+	}
 	r := &run{g: g, cfg: cfg, done: ctx.Done()}
+	if cfg.Adversary != nil {
+		r.adv = cfg.Adversary
+		r.advEdges = cfg.Adversary.HasEdgeEvents()
+	}
 	effN := n
 	if cfg.NOverride > 0 {
 		effN = cfg.NOverride
@@ -465,35 +541,14 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 	// Flat per-node state: one Env array, one ports array, one peer-index
 	// array — O(nodes + edges) setup memory, no per-node maps.
 	root := xrand.New(cfg.Seed)
-	m := g.NumEdges()
 	r.envs = make([]Env, n)
 	r.protos = make([]Protocol, n)
 	r.inbox = make([][]Message, n)
-	r.portsAll = make([]Port, 0, 2*m)
-	r.peersAll = make([]graph.NodeID, 0, 2*m)
-	var scratch []graph.Half
 	for v := 0; v < n; v++ {
 		idx := graph.NodeID(v)
 		id := idx
 		if cfg.IDMap != nil {
 			id = cfg.IDMap[v]
-		}
-		// Sort a scratch copy of the incident list by edge ID, then emit
-		// ports and peer indices side by side: the two views stay parallel
-		// and the backing arrays never reallocate (capacity is exact).
-		scratch = append(scratch[:0], g.Incident(idx)...)
-		slices.SortFunc(scratch, func(a, b graph.Half) int { return cmp.Compare(a.Edge, b.Edge) })
-		base := len(r.portsAll)
-		for _, h := range scratch {
-			p := NoPeer
-			if cfg.KT1 {
-				p = h.Peer
-				if cfg.IDMap != nil {
-					p = cfg.IDMap[h.Peer]
-				}
-			}
-			r.portsAll = append(r.portsAll, Port{Edge: h.Edge, Peer: p})
-			r.peersAll = append(r.peersAll, h.Peer)
 		}
 		r.envs[v] = Env{
 			run:   r,
@@ -501,10 +556,19 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 			id:    id,
 			shard: int32(v / r.chunk),
 			rng:   root.Derived(uint64(id)),
-			ports: r.portsAll[base:len(r.portsAll):len(r.portsAll)],
-			peers: r.peersAll[base:len(r.peersAll):len(r.peersAll)],
 		}
 		r.protos[v] = f(id)
+	}
+	r.buildPortViews()
+	if r.adv != nil && r.adv.MaxDelay() > 0 {
+		// Ring slot d holds messages that mature d delivery phases from now;
+		// slot 0 is drained into inboxes at the top of each delivery. A send
+		// with delay δ lands in slot δ (slot 0 is never appended to — it was
+		// just drained), so the ring needs MaxDelay+1 slots.
+		r.future = make([][][]Message, r.adv.MaxDelay()+1)
+		for d := range r.future {
+			r.future[d] = make([][]Message, n)
+		}
 	}
 	r.active.Store(int64(n))
 	r.stepFn = func(w, lo, hi int) {
@@ -515,10 +579,17 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 			r.stepOne(v, r.round)
 		}
 	}
-	r.deliverFn = func(w, lo, hi int) { r.deliverShard(w, lo, hi) }
+	if r.adv != nil {
+		r.deliverFn = func(w, lo, hi int) { r.deliverShardAdv(w, lo, hi) }
+	} else {
+		r.deliverFn = func(w, lo, hi int) { r.deliverShard(w, lo, hi) }
+	}
 
 	res := Result{Counters: make(map[string]int64)}
 	for round := 0; round < cfg.MaxRounds; round++ {
+		if r.adv != nil {
+			r.applyAdversaryRound(round, &res)
+		}
 		// LOCAL protocols may act every round until they halt, so the run
 		// continues while any node is active. The count is maintained
 		// incrementally by Env.Halt — no per-round O(n) scan.
@@ -549,6 +620,22 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 			sent += r.totals[w].sent
 			units += r.totals[w].units
 		}
+		if r.adv != nil {
+			for w := range r.totals {
+				res.Dropped += r.totals[w].dropped
+				res.Duplicated += r.totals[w].duplicated
+				r.inFlight += r.totals[w].pend
+			}
+			// Rotate the future ring: the slot delivery just drained cycles
+			// to the back, and the next round's matured messages move to the
+			// front. The slot headers (and their truncated per-node slices)
+			// are reused, so a steady-state round allocates nothing here.
+			if len(r.future) > 0 {
+				f0 := r.future[0]
+				copy(r.future, r.future[1:])
+				r.future[len(r.future)-1] = f0
+			}
+		}
 		if !cfg.NoLedger {
 			res.PerRound = append(res.PerRound, sent)
 		}
@@ -558,7 +645,10 @@ func RunCtx(ctx context.Context, g *graph.Graph, f Factory, cfg Config) (Result,
 		if cfg.OnRound != nil {
 			cfg.OnRound(round, sent)
 		}
-		if cfg.StopWhen != nil && cfg.StopWhen(round, sent) {
+		// The in-flight gate defers central termination detection past
+		// rounds with delayed messages still undelivered (always zero
+		// without an adversary).
+		if cfg.StopWhen != nil && r.inFlight == 0 && cfg.StopWhen(round, sent) {
 			break
 		}
 	}
@@ -673,6 +763,210 @@ func (r *run) deliverShard(w, lo, hi int) {
 			r.inbox[m.to] = append(r.inbox[m.to], Message{Edge: m.edge, Payload: m.body, seq: m.seq})
 		}
 		clear(bucket) // no stale payload references in the reused bucket
+		r.stages[ws][w] = bucket[:0]
+	}
+	for v := lo; v < hi; v++ {
+		sortInbox(r.inbox[v])
+	}
+}
+
+// buildPortViews (re)assembles every node's sorted port and peer-index views
+// from the run's current graph into two flat backing arrays. It runs once at
+// setup and again after each adversarial topology event; the nil-adversary
+// path never re-enters it.
+func (r *run) buildPortViews() {
+	n := r.g.NumNodes()
+	m := r.g.NumEdges()
+	r.portsAll = make([]Port, 0, 2*m)
+	r.peersAll = make([]graph.NodeID, 0, 2*m)
+	var scratch []graph.Half
+	for v := 0; v < n; v++ {
+		idx := graph.NodeID(v)
+		// Sort a scratch copy of the incident list by edge ID, then emit
+		// ports and peer indices side by side: the two views stay parallel
+		// and the backing arrays never reallocate (capacity is exact).
+		scratch = append(scratch[:0], r.g.Incident(idx)...)
+		slices.SortFunc(scratch, func(a, b graph.Half) int { return cmp.Compare(a.Edge, b.Edge) })
+		base := len(r.portsAll)
+		for _, h := range scratch {
+			p := NoPeer
+			if r.cfg.KT1 {
+				p = h.Peer
+				if r.cfg.IDMap != nil {
+					p = r.cfg.IDMap[h.Peer]
+				}
+			}
+			r.portsAll = append(r.portsAll, Port{Edge: h.Edge, Peer: p})
+			r.peersAll = append(r.peersAll, h.Peer)
+		}
+		r.envs[v].ports = r.portsAll[base:len(r.portsAll):len(r.portsAll)]
+		r.envs[v].peers = r.peersAll[base:len(r.peersAll):len(r.peersAll)]
+	}
+}
+
+// applyAdversaryRound applies the adversary's round-boundary perturbations
+// before any node steps: crash-stop failures (the node does not step this
+// round) and topology events (an inserted edge is usable by this round's
+// sends; messages still in flight over a deleted edge are destroyed). It
+// runs on the coordinating goroutine, outside any worker phase.
+func (r *run) applyAdversaryRound(round int, res *Result) {
+	for _, c := range r.adv.CrashesAt(round) {
+		v := int(c.Node)
+		if v < 0 || v >= len(r.envs) {
+			continue // profile names a node beyond this graph
+		}
+		env := &r.envs[v]
+		if !env.halted {
+			env.halted = true
+			env.crashed = true
+			r.active.Add(-1)
+			res.Crashed++
+		}
+	}
+	events := r.adv.EventsAt(round)
+	if len(events) == 0 {
+		return
+	}
+	changed := false
+	for _, ev := range events {
+		if int(ev.U) >= r.g.NumNodes() || int(ev.V) >= r.g.NumNodes() {
+			continue // graph-independent profiles may outrange small graphs
+		}
+		switch ev.Op {
+		case adversary.InsertEdge:
+			r.g.AddEdge(ev.U, ev.V)
+			changed = true
+		case adversary.DeleteEdge:
+			between := r.g.EdgesBetween(ev.U, ev.V)
+			if len(between) == 0 {
+				continue // deleting an absent pair is a no-op by contract
+			}
+			id := slices.Min(between)
+			if err := r.g.RemoveEdgeID(id); err != nil {
+				panic(fmt.Sprintf("local: removing adversary-selected edge %d: %v", id, err))
+			}
+			r.purgeFuture(id, ev.U, ev.V, res)
+			changed = true
+		}
+	}
+	if changed {
+		r.buildPortViews()
+	}
+}
+
+// purgeFuture destroys delayed messages still in flight over a deleted edge:
+// they were billed at send time and now count as adversary-induced drops.
+func (r *run) purgeFuture(id graph.EdgeID, u, v graph.NodeID, res *Result) {
+	for d := range r.future {
+		for _, w := range [2]graph.NodeID{u, v} {
+			slot := r.future[d][w]
+			kept := slot[:0]
+			for _, m := range slot {
+				if m.Edge == id {
+					res.Dropped++
+					r.inFlight--
+					continue
+				}
+				kept = append(kept, m)
+			}
+			// Clear the tail so destroyed payloads are not pinned by the
+			// reused backing array.
+			for i := len(kept); i < len(slot); i++ {
+				slot[i] = Message{}
+			}
+			r.future[d][w] = kept
+		}
+	}
+}
+
+// deliverShardAdv is deliverShard's adversary-aware twin: the same
+// column-drain in step-worker order (so both engines stay bit-identical at
+// every worker count), with the adversary consulted per message. Matured
+// delayed messages (the future ring's front slot) enter the inbox first;
+// because an edge's delay is constant, matured and fresh traffic never share
+// an edge in one inbox, and the canonical (edge, seq) sort remains a total
+// order. Every send — dropped, delayed, or void — is billed at send time;
+// duplicates are billed as one extra message and delivered adjacent to the
+// original. The nil-adversary path never enters this function, keeping the
+// flawless network's zero-allocation delivery untouched.
+func (r *run) deliverShardAdv(w, lo, hi int) {
+	t := &r.totals[w]
+	t.sent, t.units, t.dropped, t.duplicated, t.pend = 0, 0, 0, 0, 0
+	a := r.adv
+	delayed := len(r.future) > 0
+	for v := lo; v < hi; v++ {
+		env := &r.envs[v]
+		if env.halted {
+			r.inbox[v] = nil
+			if delayed {
+				mat := r.future[0][v]
+				if env.crashed {
+					// Matured messages to a crashed receiver are destroyed
+					// by the adversary; a voluntary halt's drops stay
+					// ordinary model behaviour.
+					t.dropped += int64(len(mat))
+				}
+				t.pend -= int64(len(mat))
+				clear(mat)
+				r.future[0][v] = mat[:0]
+			}
+			continue
+		}
+		clear(r.inbox[v])
+		in := r.inbox[v][:0]
+		if delayed {
+			mat := r.future[0][v]
+			in = append(in, mat...)
+			t.pend -= int64(len(mat))
+			clear(mat)
+			r.future[0][v] = mat[:0]
+		}
+		r.inbox[v] = in
+	}
+	round := r.round
+	for ws := 0; ws < r.nshards; ws++ {
+		bucket := r.stages[ws][w]
+		t.sent += int64(len(bucket))
+		for i := range bucket {
+			m := &bucket[i]
+			t.units += payloadUnits(m.body)
+			if m.to < 0 {
+				t.dropped++ // void send: the edge vanished mid-run
+				continue
+			}
+			env := &r.envs[m.to]
+			if env.halted {
+				if env.crashed {
+					t.dropped++
+				}
+				continue
+			}
+			if a.Drop(round, m.edge, m.to, m.seq) {
+				t.dropped++
+				continue
+			}
+			dup := a.Duplicate(round, m.edge, m.to, m.seq)
+			if dup {
+				t.sent++
+				t.units += payloadUnits(m.body)
+				t.duplicated++
+			}
+			if d := a.Delay(m.edge); d > 0 {
+				slot := r.future[d]
+				slot[m.to] = append(slot[m.to], Message{Edge: m.edge, Payload: m.body, seq: m.seq})
+				t.pend++
+				if dup {
+					slot[m.to] = append(slot[m.to], Message{Edge: m.edge, Payload: m.body, seq: m.seq})
+					t.pend++
+				}
+				continue
+			}
+			r.inbox[m.to] = append(r.inbox[m.to], Message{Edge: m.edge, Payload: m.body, seq: m.seq})
+			if dup {
+				r.inbox[m.to] = append(r.inbox[m.to], Message{Edge: m.edge, Payload: m.body, seq: m.seq})
+			}
+		}
+		clear(bucket)
 		r.stages[ws][w] = bucket[:0]
 	}
 	for v := lo; v < hi; v++ {

@@ -84,14 +84,25 @@ type RunOptions struct {
 	// DeadlineMS caps wall-clock time (ErrDeadline -> 504). Zero takes the
 	// server's default; values above the server cap are clamped to it.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Adversary subjects the run to a network perturbation profile: either
+	// a shipped profile referenced by name alone ({"name": "drop10"}) or an
+	// inline repro.AdversaryProfile (rates, delay bound, crash and
+	// edge-event schedules). An unknown name or a malformed profile is a
+	// 400; adversary-induced damage comes back in each phase's dropped and
+	// duplicated fields.
+	Adversary *repro.AdversaryProfile `json:"adversary,omitempty"`
 }
 
-// PhaseJSON is one pipeline stage of the response bill.
+// PhaseJSON is one pipeline stage of the response bill. Dropped and
+// Duplicated are the adversary's honestly billed damage; both stay zero —
+// and absent from the JSON — on flawless runs.
 type PhaseJSON struct {
-	Name     string  `json:"name"`
-	Rounds   int     `json:"rounds"`
-	Messages int64   `json:"messages"`
-	Dilation float64 `json:"dilation,omitempty"`
+	Name       string  `json:"name"`
+	Rounds     int     `json:"rounds"`
+	Messages   int64   `json:"messages"`
+	Dilation   float64 `json:"dilation,omitempty"`
+	Dropped    int64   `json:"dropped,omitempty"`
+	Duplicated int64   `json:"duplicated,omitempty"`
 }
 
 // SimulateResponse is the POST /v1/simulate reply.
@@ -304,8 +315,11 @@ func buildSpec(a AlgoSpec, n, maxT int) (repro.AlgorithmSpec, error) {
 
 // extras translates the request's overrides into per-run engine options.
 // The deadline is always set: defaultDeadline when the client names none,
-// clamped to maxDeadline otherwise — no request runs unbounded.
-func (o RunOptions) extras(defaultDeadline, maxDeadline time.Duration) []repro.Option {
+// clamped to maxDeadline otherwise — no request runs unbounded. Adversary
+// resolution happens here too: a name-only profile is looked up in the
+// shipped registry, an inline profile is validated as-is, and either
+// failure is a 400.
+func (o RunOptions) extras(defaultDeadline, maxDeadline time.Duration) ([]repro.Option, error) {
 	out := []repro.Option{repro.WithSeed(o.Seed)}
 	if o.Gamma != 0 {
 		out = append(out, repro.WithGamma(o.Gamma))
@@ -325,6 +339,21 @@ func (o RunOptions) extras(defaultDeadline, maxDeadline time.Duration) []repro.O
 	if o.MaxRounds != 0 {
 		out = append(out, repro.WithMaxRounds(o.MaxRounds))
 	}
+	if o.Adversary != nil {
+		p := *o.Adversary
+		if p.Name != "" && p.IsZero() {
+			named, ok := repro.NamedAdversary(p.Name)
+			if !ok {
+				return nil, badRequestf("options: unknown adversary profile %q (shipped: %v)",
+					p.Name, repro.AdversaryProfiles())
+			}
+			p = named
+		}
+		if err := p.Validate(); err != nil {
+			return nil, badRequestf("options: %v", err)
+		}
+		out = append(out, repro.WithAdversary(p))
+	}
 	d := time.Duration(o.DeadlineMS) * time.Millisecond
 	if d <= 0 {
 		d = defaultDeadline
@@ -333,7 +362,7 @@ func (o RunOptions) extras(defaultDeadline, maxDeadline time.Duration) []repro.O
 		d = maxDeadline
 	}
 	out = append(out, repro.WithDeadline(d))
-	return out
+	return out, nil
 }
 
 // graphCache is a small LRU of generated graphs keyed by canonical spec

@@ -325,7 +325,11 @@ func (s *Server) prepare(req *SimulateRequest) (*prepared, *httpError) {
 	}
 	fp := g.Fingerprint()
 	sh := s.pool.shardFor(fp)
-	extras := req.Options.extras(s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
+	extras, err := req.Options.extras(s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
+	if err != nil {
+		he, _ := classify(err)
+		return nil, he
+	}
 	opts := sh.eng.Options()
 	for _, fn := range extras {
 		fn(&opts)
@@ -418,6 +422,7 @@ func (s *Server) response(req *SimulateRequest, p *prepared, res *repro.Simulati
 	for _, ph := range res.Phases {
 		out.Phases = append(out.Phases, PhaseJSON{
 			Name: ph.Name, Rounds: ph.Rounds, Messages: ph.Messages, Dilation: ph.Dilation,
+			Dropped: ph.Dropped, Duplicated: ph.Duplicated,
 		})
 	}
 	if req.IncludeOutputs {

@@ -426,3 +426,70 @@ func TestServeDeterministicGraphCache(t *testing.T) {
 		t.Fatalf("rebuilt graph fingerprints differently: %s vs %s", first.GraphFingerprint, third.GraphFingerprint)
 	}
 }
+
+// TestServeAdversary covers the HTTP adversary surface: a named shipped
+// profile perturbs the bill and attributes damage in the phase JSON, two
+// clients under the same profile agree bit for bit, and both an unknown
+// profile name and an invalid inline profile bounce with 400.
+func TestServeAdversary(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+
+	clean := `{"scheme":"direct","graph":{"family":"gnp","n":60,"deg":5,"seed":7},"algorithm":{"t":3},"options":{"seed":5}}`
+	named := `{"scheme":"direct","graph":{"family":"gnp","n":60,"deg":5,"seed":7},"algorithm":{"t":3},"options":{"seed":5,"adversary":{"name":"drop10"}}}`
+
+	code, base, e := postSimulate(t, hs.URL, clean)
+	if code != http.StatusOK {
+		t.Fatalf("clean run: status %d (%v)", code, e)
+	}
+	for _, ph := range base.Phases {
+		if ph.Dropped != 0 || ph.Duplicated != 0 {
+			t.Fatalf("flawless run attributed damage: %+v", ph)
+		}
+	}
+
+	code, hit, e := postSimulate(t, hs.URL, named)
+	if code != http.StatusOK {
+		t.Fatalf("drop10 run: status %d (%v)", code, e)
+	}
+	var dropped int64
+	for _, ph := range hit.Phases {
+		dropped += ph.Dropped
+	}
+	if dropped == 0 {
+		t.Fatalf("drop10 run attributed no dropped messages: %+v", hit.Phases)
+	}
+	// Determinism across requests: same profile, same seed, same answer.
+	code, again, e := postSimulate(t, hs.URL, named)
+	if code != http.StatusOK {
+		t.Fatalf("drop10 rerun: status %d (%v)", code, e)
+	}
+	if again.OutputsFNV != hit.OutputsFNV || again.Messages != hit.Messages {
+		t.Fatalf("adversarial rerun diverged: %s/%d vs %s/%d",
+			again.OutputsFNV, again.Messages, hit.OutputsFNV, hit.Messages)
+	}
+
+	// An inline profile (no registry name) is honoured as-is.
+	inline := `{"scheme":"direct","graph":{"family":"gnp","n":60,"deg":5,"seed":7},"algorithm":{"t":3},"options":{"seed":5,"adversary":{"seed":9,"drop_rate":0.25}}}`
+	code, inl, e := postSimulate(t, hs.URL, inline)
+	if code != http.StatusOK {
+		t.Fatalf("inline profile: status %d (%v)", code, e)
+	}
+	var inlineDropped int64
+	for _, ph := range inl.Phases {
+		inlineDropped += ph.Dropped
+	}
+	if inlineDropped == 0 {
+		t.Fatal("inline quarter-drop profile attributed no damage")
+	}
+
+	// Client errors: unknown name and malformed inline profile are 400s.
+	for name, body := range map[string]string{
+		"unknown-name": `{"scheme":"direct","graph":{"family":"gnp","n":60,"deg":5,"seed":7},"algorithm":{"t":3},"options":{"adversary":{"name":"no-such-profile"}}}`,
+		"bad-rate":     `{"scheme":"direct","graph":{"family":"gnp","n":60,"deg":5,"seed":7},"algorithm":{"t":3},"options":{"adversary":{"drop_rate":1.5}}}`,
+	} {
+		code, _, e := postSimulate(t, hs.URL, body)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (%v), want 400", name, code, e)
+		}
+	}
+}

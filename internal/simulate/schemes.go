@@ -25,12 +25,17 @@ var ErrRoundBudget = errors.New("simulate: round budget exceeded")
 // PhaseCost is one pipeline stage's price. Dilation is nonzero only for
 // bandwidth-budgeted stages: the factor by which the CONGEST-style word cap
 // stretched the stage's round count relative to the unbudgeted LOCAL
-// schedule.
+// schedule. Dropped and Duplicated are the stage's adversary-induced losses
+// and duplications (zero without an adversary); both kinds of perturbed
+// message are already billed inside Messages — the honest-billing contract —
+// so these fields attribute, not extend, the bill.
 type PhaseCost struct {
-	Name     string
-	Rounds   int
-	Messages int64
-	Dilation float64
+	Name       string
+	Rounds     int
+	Messages   int64
+	Dilation   float64
+	Dropped    int64
+	Duplicated int64
 }
 
 // Hooks observes a scheme pipeline as it runs: Round fires after every
@@ -121,6 +126,12 @@ type Stage1Source func(ctx context.Context, g *graph.Graph, p core.Params, seed 
 // caller is responsible for firing PhaseDone with the returned cost (so a
 // caching layer can substitute its own phase label on hits).
 func BuildStage1(ctx context.Context, g *graph.Graph, p core.Params, seed uint64, cfg local.Config, hooks Hooks) (*Stage1, PhaseCost, error) {
+	// Stage-1 construction is exempt from the adversary: the spanner is the
+	// schemes' pre-provisioned reliable infrastructure (and the engine cache
+	// keys spanners on (graph, seed, params) — profile-independent), so the
+	// perturbations apply to the simulation traffic the spanner carries, not
+	// to building the spanner itself.
+	cfg.Adversary = nil
 	sp, err := core.BuildDistributedCtx(ctx, g, p, seed, hooks.RoundConfig(cfg, "sampler"))
 	if err != nil {
 		return nil, PhaseCost{}, err
@@ -177,7 +188,13 @@ func Scheme1Src(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p cor
 	if err != nil {
 		return nil, fmt.Errorf("scheme1 collection: %w", err)
 	}
-	collectCost := PhaseCost{Name: "collect", Rounds: coll.Run.Rounds, Messages: coll.Run.Messages}
+	collectCost := PhaseCost{
+		Name:       "collect",
+		Rounds:     coll.Run.Rounds,
+		Messages:   coll.Run.Messages,
+		Dropped:    coll.Run.Dropped,
+		Duplicated: coll.Run.Duplicated,
+	}
 	hooks.PhaseDone(collectCost)
 	return &SchemeResult{
 		Coll:         coll,
@@ -306,7 +323,13 @@ func Scheme2WithSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p
 			h2edges[e] = true
 		}
 	}
-	stageCost := PhaseCost{Name: st2.Name, Rounds: coll2.Run.Rounds, Messages: coll2.Run.Messages}
+	stageCost := PhaseCost{
+		Name:       st2.Name,
+		Rounds:     coll2.Run.Rounds,
+		Messages:   coll2.Run.Messages,
+		Dropped:    coll2.Run.Dropped,
+		Duplicated: coll2.Run.Duplicated,
+	}
 	hooks.PhaseDone(stageCost)
 	h2, err := g.SubgraphByEdges(h2edges)
 	if err != nil {
@@ -318,7 +341,13 @@ func Scheme2WithSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p
 	if err != nil {
 		return nil, fmt.Errorf("scheme2 final collection: %w", err)
 	}
-	collectCost := PhaseCost{Name: "collect", Rounds: coll.Run.Rounds, Messages: coll.Run.Messages}
+	collectCost := PhaseCost{
+		Name:       "collect",
+		Rounds:     coll.Run.Rounds,
+		Messages:   coll.Run.Messages,
+		Dropped:    coll.Run.Dropped,
+		Duplicated: coll.Run.Duplicated,
+	}
 	hooks.PhaseDone(collectCost)
 	return &SchemeResult{
 		Coll:         coll,
@@ -362,6 +391,9 @@ func Scheme1CongestSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec
 		Rounds:   coll.Run.Rounds,
 		Messages: coll.Run.Messages,
 		Dilation: float64(coll.Run.Rounds) / float64(budgetRounds+1),
+		// The CONGEST collection is centrally scheduled (no LOCAL engine
+		// run), so it is adversary-exempt by construction: no drops or
+		// duplicates to attribute.
 	}
 	hooks.PhaseDone(collectCost)
 	return &SchemeResult{
@@ -432,6 +464,11 @@ func HybridSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core
 		Name:     "gossip(seed)",
 		Rounds:   seedRound,
 		Messages: seedMsgs,
+		// Attribution covers the whole executed seeding run (the bill above
+		// is truncated at the seeding deadline; drop/duplicate attribution
+		// is not tracked per round).
+		Dropped:    gos.Run.Dropped,
+		Duplicated: gos.Run.Duplicated,
 	}
 	hooks.PhaseDone(seedCost)
 
@@ -451,7 +488,13 @@ func HybridSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec, p core
 	if err != nil {
 		return nil, fmt.Errorf("hybrid residue collection: %w", err)
 	}
-	collectCost := PhaseCost{Name: "collect(residue)", Rounds: fl.Run.Rounds, Messages: fl.Run.Messages}
+	collectCost := PhaseCost{
+		Name:       "collect(residue)",
+		Rounds:     fl.Run.Rounds,
+		Messages:   fl.Run.Messages,
+		Dropped:    fl.Run.Dropped,
+		Duplicated: fl.Run.Duplicated,
+	}
 	hooks.PhaseDone(collectCost)
 
 	// Merge: what gossip had delivered by the seeding deadline, plus the
@@ -517,7 +560,13 @@ func GlobalCollectSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec,
 	if err != nil {
 		return nil, fmt.Errorf("globalcompute convergecast: %w", err)
 	}
-	castCost := PhaseCost{Name: "globalcast", Rounds: runRes.Rounds, Messages: runRes.Messages}
+	castCost := PhaseCost{
+		Name:       "globalcast",
+		Rounds:     runRes.Rounds,
+		Messages:   runRes.Messages,
+		Dropped:    runRes.Dropped,
+		Duplicated: runRes.Duplicated,
+	}
 	hooks.PhaseDone(castCost)
 
 	// Every node holds the identical merged table (the root's map, shared
@@ -527,7 +576,10 @@ func GlobalCollectSrc(ctx context.Context, g *graph.Graph, spec algorithms.Spec,
 	for v := 0; v < n; v++ {
 		table := vals[v].(map[graph.NodeID][]graph.EdgeID)
 		if len(table) != n {
-			return nil, fmt.Errorf("globalcompute: node %d's table covers %d of %d nodes", v, len(table), n)
+			// An incomplete table means the wave/convergecast starved within
+			// its schedule (an adversarial network can do this): a budget
+			// failure, typed so callers can test for it.
+			return nil, fmt.Errorf("globalcompute: node %d's table covers %d of %d nodes: %w", v, len(table), n, ErrRoundBudget)
 		}
 		coll.Ports[v] = table
 	}

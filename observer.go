@@ -2,7 +2,9 @@ package repro
 
 import "repro/internal/simulate"
 
-// PhaseCost is one pipeline stage's price (name, rounds, messages).
+// PhaseCost is one pipeline stage's price: name, rounds, messages, and —
+// under WithAdversary — the Dropped/Duplicated attribution of
+// adversary-induced damage within the billed messages.
 type PhaseCost = simulate.PhaseCost
 
 // Observer receives live progress events from a running simulation.
@@ -30,6 +32,10 @@ type PhaseCost = simulate.PhaseCost
 //   - "converge(halt)" — gossip-converge's distributed termination
 //     detection pass (wave, convergecast-AND, broadcast halt);
 //   - "globalcast" — globalcompute's wave/tree/convergecast protocol.
+//
+// WithAdversary introduces no phase names of its own: adversarial runs
+// reuse the labels above, and the damage shows up in each PhaseCost's
+// Dropped and Duplicated fields instead.
 //
 // These names are load-bearing beyond logging: they are the values of the
 // "phase" label in the Prometheus-style exposition that

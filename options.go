@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/local"
 	"repro/internal/simulate"
@@ -88,6 +89,12 @@ type Options struct {
 	// NoCache disables the engine's stage-1 spanner cache: every Run and
 	// BuildSpanner then constructs the Sampler spanner from scratch.
 	NoCache bool
+	// Adversary, when non-nil, subjects every executed protocol stage to the
+	// given perturbation profile: seeded message drops and duplications,
+	// crash-stop failures, bounded per-edge delivery delays, and mid-run
+	// topology events (see WithAdversary). Nil — the default — is the
+	// flawless network the paper assumes, byte-identical to historical runs.
+	Adversary *AdversaryProfile
 
 	// stage1 supplies stage-1 spanners to the scheme pipelines. The Engine
 	// points it at its memoized cache on each Run's private Options copy;
@@ -210,6 +217,27 @@ func WithObserver(obs Observer) Option {
 	return func(o *Options) { o.Observers = append(o.Observers, obs) }
 }
 
+// WithAdversary subjects every executed protocol stage to the given
+// perturbation profile: seeded per-message drops and duplications,
+// crash-stop node failures at scheduled rounds, bounded per-edge delivery
+// delays, and mid-run edge insertions/deletions. All perturbations are pure
+// hashes of (profile seed, engine seed, message identity), so adversarial
+// runs stay bit-identical across the sequential and concurrent engines at
+// every worker count and are golden-pinnable. Adversary-induced losses and
+// duplicates are billed honestly — every send still counts in Messages, and
+// PhaseCost.Dropped / PhaseCost.Duplicated attribute the damage.
+//
+// The stage-1 spanner construction is exempt: schemes treat the sampler's
+// spanner as pre-provisioned infrastructure (it is memoized across runs and
+// its artifact must not depend on the adversary), so only the simulated,
+// collection, gossip, and replayed-execution stages feel the profile. Named
+// profiles ship in the internal registry; resolve them through the serve
+// API or cmd/simulate's -adversary flag, or construct an AdversaryProfile
+// literal here.
+func WithAdversary(p AdversaryProfile) Option {
+	return func(o *Options) { o.Adversary = &p }
+}
+
 // newOptions applies defaults and then the given options.
 func newOptions(opts []Option) Options {
 	o := Options{Gamma: 1, StageK: 2, HybridFraction: 0.5, RoundLedger: true}
@@ -257,6 +285,9 @@ func (o *Options) localConfig() local.Config {
 		cfg.Concurrent, cfg.Workers = true, o.Concurrency
 	case o.Concurrency < 0:
 		cfg.Concurrent = true
+	}
+	if o.Adversary != nil && !o.Adversary.IsZero() {
+		cfg.Adversary = adversary.Compile(*o.Adversary, o.Seed)
 	}
 	return cfg
 }
@@ -348,6 +379,11 @@ func (o *Options) validate() error {
 	}
 	if o.CacheSize < 0 {
 		return fmt.Errorf("negative CacheSize %d (use WithCacheSize)", o.CacheSize)
+	}
+	if o.Adversary != nil {
+		if err := o.Adversary.Validate(); err != nil {
+			return fmt.Errorf("%w (use WithAdversary)", err)
+		}
 	}
 	return nil
 }

@@ -131,7 +131,8 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			cost := PhaseCost{Name: "direct", Rounds: run.Rounds, Messages: run.Messages}
+			cost := PhaseCost{Name: "direct", Rounds: run.Rounds, Messages: run.Messages,
+				Dropped: run.Dropped, Duplicated: run.Duplicated}
 			hooks.PhaseDone(cost)
 			return &SimulationResult{
 				Scheme:   "direct",
@@ -206,7 +207,12 @@ func init() {
 				return nil, fmt.Errorf("gossip did not cover the %d-balls within %d rounds (raise WithMaxRounds): %w",
 					spec.T, budget, ErrRoundBudget)
 			}
-			gossipCost := PhaseCost{Name: "gossip(earlystop)", Rounds: cover, Messages: msgs}
+			// Rounds/Messages are truncated at the cover round; damage
+			// attribution covers the whole executed schedule (drop/duplicate
+			// counts are not tracked per round, and under delay profiles the
+			// in-flight gate can keep the run going well past cover).
+			gossipCost := PhaseCost{Name: "gossip(earlystop)", Rounds: cover, Messages: msgs,
+				Dropped: coll.Run.Dropped, Duplicated: coll.Run.Duplicated}
 			hooks.PhaseDone(gossipCost)
 			// The central stop check knew coverage was complete; distributed
 			// nodes do not. Bill what *knowing you're done* costs: at the
@@ -227,7 +233,8 @@ func init() {
 			if !ok {
 				return nil, fmt.Errorf("gossip-converge termination detection returned a false verdict from all-true predicates")
 			}
-			detectCost := PhaseCost{Name: "converge(halt)", Rounds: drun.Rounds, Messages: drun.Messages}
+			detectCost := PhaseCost{Name: "converge(halt)", Rounds: drun.Rounds, Messages: drun.Messages,
+				Dropped: drun.Dropped, Duplicated: drun.Duplicated}
 			hooks.PhaseDone(detectCost)
 			outs, err := coll.ReplayAllN(ctx, spec, o.Concurrency)
 			if err != nil {
@@ -301,7 +308,10 @@ func runGossip(ctx context.Context, g *Graph, spec AlgorithmSpec, o *Options, sc
 		return nil, fmt.Errorf("gossip did not cover the %d-balls within %d rounds (raise WithMaxRounds): %w",
 			spec.T, budget, ErrRoundBudget)
 	}
-	cost := PhaseCost{Name: phase, Rounds: cover, Messages: msgs}
+	// As with the hybrid seed stage: the bill is truncated at the cover
+	// round, but damage attribution covers the whole executed schedule.
+	cost := PhaseCost{Name: phase, Rounds: cover, Messages: msgs,
+		Dropped: coll.Run.Dropped, Duplicated: coll.Run.Duplicated}
 	hooks.PhaseDone(cost)
 	outs, err := coll.ReplayAllN(ctx, spec, o.Concurrency)
 	if err != nil {
